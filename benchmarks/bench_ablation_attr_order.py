@@ -1,0 +1,19 @@
+"""Ablation D: drill-down attribute order.  Large-domain-first trees are
+shallower (cheaper drill-downs); both orders must track correctly."""
+
+from conftest import BENCH_SCALE, BENCH_TRIALS
+
+from repro.experiments.figures import run_ablation_attr_order
+
+
+def test_ablation_attr_order(figure_bench, tail):
+    figure = figure_bench(
+        run_ablation_attr_order, scale=BENCH_SCALE,
+        trials=max(BENCH_TRIALS, 3), rounds=15, budget=500,
+    )
+    small_first = tail(figure, "REISSUE-small-first", tail=6)
+    large_first = tail(figure, "REISSUE-large-first", tail=6)
+    assert small_first < 0.6
+    assert large_first < 0.6
+    # The drill-count comparison lives in the notes; assert it rendered.
+    assert "drills/round" in figure.notes

@@ -1,0 +1,20 @@
+"""Ablation C: RS bootstrap budget.  All settings must track; the default
+should not be dominated by either extreme."""
+
+from conftest import BENCH_SCALE, BENCH_TRIALS
+
+from repro.experiments.figures import run_ablation_bootstrap
+
+
+def test_ablation_bootstrap(figure_bench, tail):
+    figure = figure_bench(
+        run_ablation_bootstrap, scale=BENCH_SCALE,
+        trials=max(BENCH_TRIALS, 3), rounds=20, budget=500,
+        pilot_counts=(4, 10, 25),
+    )
+    errors = {name: tail(figure, name, tail=8) for name in figure.series}
+    assert all(error < 0.5 for error in errors.values())
+    # The default (w=10) is within 3x of the best setting (at this scale
+    # bigger pilot counts pay off, because each group's variance floor
+    # shrinks with verified deltas; w=10 stays a sane middle ground).
+    assert errors["RS(w=10)"] < min(errors.values()) * 3.0

@@ -1,0 +1,21 @@
+"""Ablation B: a within-round client answer cache helps RESTART (shared
+shallow queries become free) but cannot substitute for cross-round reuse."""
+
+from conftest import BENCH_SCALE, BENCH_TRIALS
+
+from repro.experiments.figures import run_ablation_client_cache
+
+
+def test_ablation_client_cache(figure_bench, tail):
+    figure = figure_bench(
+        run_ablation_client_cache, scale=BENCH_SCALE,
+        trials=max(BENCH_TRIALS, 3), rounds=20, budget=500,
+    )
+    plain = tail(figure, "RESTART", tail=8)
+    cached = tail(figure, "RESTART-cache", tail=8)
+    reissue = tail(figure, "REISSUE", tail=8)
+    assert cached < plain * 1.1, "the cache should not hurt RESTART"
+    # REISSUE's level is its frozen set's luck; it must beat the
+    # *uncached* baseline, and stay in the cached baseline's ballpark.
+    assert reissue < plain * 1.2
+    assert reissue < cached * 2.5

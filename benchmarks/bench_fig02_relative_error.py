@@ -1,0 +1,24 @@
+"""Figure 2: COUNT(*) relative error per round, default Autos churn.
+
+Paper's shape: RESTART stays noisy and flat; REISSUE and RS leverage
+history and end well below it, with RS lowest.
+"""
+
+from conftest import BENCH_SCALE, BENCH_TRIALS
+
+from repro.experiments.figures import run_fig02
+
+
+def test_fig02(figure_bench, tail):
+    figure = figure_bench(
+        run_fig02, scale=BENCH_SCALE, trials=max(BENCH_TRIALS, 4),
+        rounds=40, budget=500,
+    )
+    restart = tail(figure, "RESTART", tail=10)
+    reissue = tail(figure, "REISSUE", tail=10)
+    rs = tail(figure, "RS", tail=10)
+    assert reissue < restart * 1.1, "REISSUE must end at/below RESTART"
+    assert rs < restart, "RS must end below RESTART"
+    # RS keeps accumulating: its tail must improve on its own start.
+    early_rs = sum(figure.series["RS"][1:6]) / 5
+    assert rs < early_rs

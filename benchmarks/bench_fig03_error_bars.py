@@ -1,0 +1,24 @@
+"""Figure 3: raw estimates stay centred on truth (unbiasedness) and RS has
+the tightest across-trial spread."""
+
+from conftest import BENCH_SCALE
+
+from repro.experiments.figures import run_fig03
+
+
+def test_fig03(figure_bench):
+    figure = figure_bench(
+        run_fig03, scale=BENCH_SCALE, trials=4, rounds=30, budget=500,
+    )
+    # Centre series (relative size) must hover around 1.0 for everyone.
+    for estimator in ("RESTART", "REISSUE", "RS"):
+        centre = figure.series[estimator]
+        late = sum(centre[-5:]) / 5
+        assert 0.7 < late < 1.3, f"{estimator} drifted from truth"
+    # RS's error bars (spread between +sd and -sd) end narrowest.
+    def late_spread(name):
+        plus = figure.series[f"{name}+sd"][-5:]
+        minus = figure.series[f"{name}-sd"][-5:]
+        return sum(p - m for p, m in zip(plus, minus)) / 5
+
+    assert late_spread("RS") <= late_spread("RESTART")

@@ -1,0 +1,21 @@
+"""Figure 4: intra-round (constant-update) execution tracks the clean
+round-boundary model closely for both REISSUE and RS."""
+
+from conftest import BENCH_SCALE
+
+from repro.experiments.figures import run_fig04
+
+
+def test_fig04(figure_bench, tail):
+    figure = figure_bench(
+        run_fig04, scale=BENCH_SCALE, trials=1, rounds=25, budget=500,
+    )
+    for estimator in ("REISSUE", "RS"):
+        clean = tail(figure, estimator)
+        intra = tail(figure, f"{estimator}(intra)")
+        # The paper's claim: spreading updates inside the round barely
+        # hurts.  Allow a generous factor; the two series must be the
+        # same order of magnitude.
+        assert intra < max(3.0 * clean, clean + 0.15), (
+            f"{estimator} intra-round accuracy collapsed"
+        )

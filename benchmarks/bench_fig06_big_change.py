@@ -1,0 +1,21 @@
+"""Figure 6: big change (+10k and -5% per round, scaled).  Reissuing still
+beats restarting (Theorem 3.2 holds with k large)."""
+
+from conftest import BENCH_SCALE, BENCH_TRIALS
+
+from repro.experiments.figures import run_fig06
+
+
+def test_fig06(figure_bench, tail):
+    figure = figure_bench(
+        run_fig06, scale=BENCH_SCALE, trials=max(BENCH_TRIALS, 3),
+        rounds=10, budget=500,
+    )
+    restart = tail(figure, "RESTART", tail=6)
+    reissue = tail(figure, "REISSUE", tail=6)
+    rs = tail(figure, "RS", tail=6)
+    # Under heavy churn the three converge (paper Fig. 6 still shows a
+    # gap at full scale; at bench scale the margins are within noise, so
+    # we assert "no worse than RESTART" with generous slack).
+    assert reissue < restart * 1.4
+    assert rs < restart * 1.4

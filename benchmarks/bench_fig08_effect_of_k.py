@@ -1,0 +1,26 @@
+"""Figure 8: larger interface page size k => lower error for everyone."""
+
+from conftest import BENCH_SCALE
+
+from repro.experiments.figures import run_fig08
+
+
+def test_fig08(figure_bench):
+    figure = figure_bench(
+        run_fig08, scale=BENCH_SCALE, trials=2, rounds=15, budget=500,
+        k_values=(200, 600, 1000),
+    )
+    # Monotone-ish decrease for the stable series (RESTART redraws every
+    # round; RS accumulates).  REISSUE's tail is its frozen set's luck,
+    # so only a very loose bound applies to it.
+    for estimator in ("RESTART", "RS"):
+        errors = figure.series[estimator]
+        assert errors[-1] < errors[0] * 1.2, (
+            f"{estimator}: error should fall as k grows"
+        )
+    assert figure.series["REISSUE"][-1] < figure.series["REISSUE"][0] * 6
+    # Our algorithms beat the baseline at every k.
+    for position in range(len(figure.xs)):
+        assert figure.series["RS"][position] < (
+            figure.series["RESTART"][position] * 1.2
+        )

@@ -1,0 +1,18 @@
+"""Figure 10: sweep of per-round net insertions on a 5,000-tuple database.
+
+RS beats RESTART across the whole churn range; REISSUE's weak spot is the
+deletion-heavy side (Theorem 3.2's worst case).
+"""
+
+from repro.experiments.figures import run_fig10
+
+
+def test_fig10(figure_bench):
+    figure = figure_bench(
+        run_fig10, trials=2, rounds=40, budget=100,
+        net_inserts=(-30, 0, 30), k=50,
+    )
+    for position in range(len(figure.xs)):
+        assert figure.series["RS"][position] < (
+            figure.series["RESTART"][position] * 1.2
+        ), f"RS must stay at/below RESTART at net={figure.xs[position]}"

@@ -1,0 +1,19 @@
+"""Figure 11: the attribute count m has no material effect (flat lines)."""
+
+from conftest import BENCH_SCALE
+
+from repro.experiments.figures import run_fig11
+
+
+def test_fig11(figure_bench):
+    figure = figure_bench(
+        run_fig11, scale=BENCH_SCALE, trials=2, rounds=15, budget=500,
+        attribute_counts=(34, 36, 38),
+    )
+    for estimator in ("RESTART", "REISSUE", "RS"):
+        errors = figure.series[estimator]
+        spread = max(errors) - min(errors)
+        # Flat within noise: no point may dwarf the series mean.
+        assert spread < 3 * (sum(errors) / len(errors)) + 0.05, (
+            f"{estimator}: error should be independent of m"
+        )

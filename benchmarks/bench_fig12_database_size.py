@@ -1,0 +1,18 @@
+"""Figure 12: scalability in |D1| (m=50).  RESTART's error grows with the
+database; REISSUE/RS stay flat, so the gap widens."""
+
+from repro.experiments.figures import run_fig12
+
+
+def test_fig12(figure_bench):
+    figure = figure_bench(
+        run_fig12, trials=2, rounds=8, budget=500,
+        sizes=(10_000, 100_000, 300_000), k=100,
+    )
+    restart = figure.series["RESTART"]
+    rs = figure.series["RS"]
+    # The RS/RESTART advantage must not shrink as the database grows.
+    small_gap = restart[0] / max(rs[0], 1e-9)
+    large_gap = restart[-1] / max(rs[-1], 1e-9)
+    assert large_gap > small_gap * 0.5
+    assert rs[-1] < restart[-1] * 1.15, "RS must stay at/below RESTART"

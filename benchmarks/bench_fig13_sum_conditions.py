@@ -1,0 +1,19 @@
+"""Figure 13: SUM(price) with 0-3 pushdown selection predicates.  More
+selective aggregates drill a smaller subtree and get more accurate; RS and
+REISSUE beat RESTART in every case."""
+
+from conftest import BENCH_SCALE
+
+from repro.experiments.figures import run_fig13
+
+
+def test_fig13(figure_bench):
+    figure = figure_bench(
+        run_fig13, scale=BENCH_SCALE, trials=2, rounds=25, budget=500,
+    )
+    # Selectivity helps: 3 predicates beats 0 predicates for our methods.
+    assert figure.series["RS"][-1] < figure.series["RS"][0] * 1.2
+    for position in range(len(figure.xs)):
+        assert figure.series["RS"][position] < (
+            figure.series["RESTART"][position] * 1.2
+        )

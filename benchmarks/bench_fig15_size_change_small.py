@@ -1,0 +1,18 @@
+"""Figure 15: tracking |Di|-|Di-1| under small churn.  RESTART differences
+two independent noisy estimates and is orders of magnitude worse."""
+
+from conftest import BENCH_SCALE, BENCH_TRIALS
+
+from repro.experiments.figures import run_fig15
+
+
+def test_fig15(figure_bench, tail):
+    figure = figure_bench(
+        run_fig15, scale=BENCH_SCALE, trials=max(BENCH_TRIALS, 3),
+        rounds=15, budget=500,
+    )
+    restart = tail(figure, "RESTART", tail=8)
+    reissue = tail(figure, "REISSUE", tail=8)
+    rs = tail(figure, "RS", tail=8)
+    assert reissue < restart / 3, "expected an order-of-magnitude gap"
+    assert rs < restart / 3

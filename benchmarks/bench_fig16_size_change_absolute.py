@@ -1,0 +1,21 @@
+"""Figure 16: raw size-change estimates vs exact change under small churn.
+REISSUE/RS hug the truth; RESTART swings wildly around it."""
+
+from conftest import BENCH_SCALE, BENCH_TRIALS
+
+from repro.experiments.figures import run_fig16
+
+
+def test_fig16(figure_bench):
+    figure = figure_bench(
+        run_fig16, scale=BENCH_SCALE, trials=max(BENCH_TRIALS, 3),
+        rounds=15, budget=500,
+    )
+    truth = figure.series["TRUTH"][1:]
+
+    def mean_abs_deviation(name):
+        values = figure.series[name][1:]
+        return sum(abs(v - t) for v, t in zip(values, truth)) / len(truth)
+
+    assert mean_abs_deviation("REISSUE") < mean_abs_deviation("RESTART") / 2
+    assert mean_abs_deviation("RS") < mean_abs_deviation("RESTART") / 2

@@ -1,0 +1,21 @@
+"""Figure 17: size change under big churn.  REISSUE and RS converge to the
+same behaviour (paper §4.2) and both beat RESTART."""
+
+from conftest import BENCH_SCALE, BENCH_TRIALS
+
+from repro.experiments.figures import run_fig17
+
+
+def test_fig17(figure_bench, tail):
+    figure = figure_bench(
+        run_fig17, scale=BENCH_SCALE, trials=max(BENCH_TRIALS, 3),
+        rounds=8, budget=500,
+    )
+    restart = tail(figure, "RESTART", tail=5)
+    reissue = tail(figure, "REISSUE", tail=5)
+    rs = tail(figure, "RS", tail=5)
+    assert reissue < restart
+    assert rs < restart
+    # Convergence: RS and REISSUE within a small factor of each other.
+    assert min(rs, reissue) > 0
+    assert max(rs, reissue) / min(rs, reissue) < 4.0

@@ -1,0 +1,23 @@
+"""Figure 18: per-round budget needed to reach a target relative error.
+REISSUE/RS need a fraction of RESTART's budget for the same accuracy."""
+
+import math
+
+from conftest import BENCH_SCALE
+
+from repro.experiments.figures import run_fig18
+
+
+def test_fig18(figure_bench):
+    figure = figure_bench(
+        run_fig18, scale=BENCH_SCALE, trials=2, rounds=12,
+        targets=(0.28, 0.21, 0.14),
+        budget_grid=(40, 80, 120, 180, 260, 360, 480, 620),
+    )
+    for position in range(len(figure.xs)):
+        restart = figure.series["RESTART"][position]
+        rs = figure.series["RS"][position]
+        if math.isnan(rs):
+            continue  # target unreachable at this scale for anyone
+        # RS never needs more budget than RESTART for the same target.
+        assert math.isnan(restart) or rs <= restart

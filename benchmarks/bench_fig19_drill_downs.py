@@ -1,0 +1,20 @@
+"""Figure 19: drill-downs obtained per query spent.  Reissuing converts
+the same cumulative budget into several times more drill-downs."""
+
+from conftest import BENCH_SCALE
+
+from repro.experiments.figures import run_fig19
+
+
+def test_fig19(figure_bench):
+    figure = figure_bench(
+        run_fig19, scale=BENCH_SCALE, trials=2, rounds=40, budget=500,
+    )
+    restart_total = figure.series["RESTART"][-1]
+    reissue_total = figure.series["REISSUE"][-1]
+    rs_total = figure.series["RS"][-1]
+    assert reissue_total > 1.5 * restart_total
+    assert rs_total > 1.5 * restart_total
+    # All cumulative series must be nondecreasing.
+    for values in figure.series.values():
+        assert values == sorted(values)

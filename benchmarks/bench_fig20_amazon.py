@@ -1,0 +1,24 @@
+"""Figure 20: Amazon watches over Thanksgiving week (simulated).  The
+tracked average price dips during the promotion window and recovers;
+composition shares barely move."""
+
+from repro.experiments.figures import run_fig20
+
+
+def test_fig20(figure_bench):
+    figure = figure_bench(
+        run_fig20, trials=2, rounds=7, budget=1000, catalog_size=10_000,
+    )
+    estimated = figure.series["avg_price(RS)"]
+    truth = figure.series["avg_price(truth)"]
+    promo_days = (1, 2)  # 0-based positions of rounds 2-3
+    normal_days = (0, 4, 5, 6)
+    promo_price = sum(estimated[d] for d in promo_days) / len(promo_days)
+    normal_price = sum(estimated[d] for d in normal_days) / len(normal_days)
+    assert promo_price < normal_price * 0.95, "promotion dip not detected"
+    # Tracking accuracy against ground truth (which the paper lacked).
+    for est, tru in zip(estimated, truth):
+        assert abs(est - tru) / tru < 0.25
+    # Composition shares stay within a narrow band.
+    shares = figure.series["share_wrist%(RS)"][2:]
+    assert max(shares) - min(shares) < 15.0

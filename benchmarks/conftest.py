@@ -1,0 +1,56 @@
+"""Shared helpers for the per-figure benchmarks.
+
+Every benchmark regenerates one figure of the paper at a reduced (but
+representative) scale, prints its table and ASCII chart into the captured
+output, and asserts the figure's qualitative *shape* — who wins, the
+direction of trends — with deliberately loose tolerances (the absolute
+numbers depend on the scale and on simulator randomness).
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``  — fraction of the paper's dataset size (default 0.05)
+* ``REPRO_BENCH_TRIALS`` — trials to average per experiment (default 2)
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import pytest
+
+#: Fraction of the paper's dataset sizes used by default.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+#: Trials averaged per experiment by default.
+BENCH_TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "2"))
+
+
+def tail_mean(figure, series_name: str, tail: int = 5) -> float:
+    """Mean of the last ``tail`` finite values of one series."""
+    values = [
+        v for v in figure.series[series_name][-tail:]
+        if v is not None and math.isfinite(v)
+    ]
+    if not values:
+        return math.nan
+    return sum(values) / len(values)
+
+
+@pytest.fixture
+def figure_bench(benchmark):
+    """Run a figure builder once under pytest-benchmark and print it."""
+
+    def _run(builder, **kwargs):
+        figure = benchmark.pedantic(
+            lambda: builder(**kwargs), rounds=1, iterations=1
+        )
+        print("\n" + figure.to_text())
+        return figure
+
+    return _run
+
+
+@pytest.fixture
+def tail():
+    return tail_mean

@@ -1,0 +1,104 @@
+"""Scenario: independently auditing an app store's published growth numbers.
+
+App stores advertise their catalog sizes, but (as the paper notes) those
+numbers are self-reported and hard to verify.  This script simulates an
+app store that *claims* steady growth while actually shrinking mid-way,
+and shows a third party catching the divergence by tracking the
+trans-round aggregate |D_i| - |D_{i-1}| through the search interface.
+
+The trans-round comparison is the point: RESTART must difference two
+independent noisy estimates (useless for small changes), while REISSUE's
+per-drill-down deltas nail the change directly.
+
+Run:  python examples/app_store_census.py
+"""
+
+import random
+
+from repro import (
+    Attribute,
+    HiddenDatabase,
+    ReissueEstimator,
+    RestartEstimator,
+    Schema,
+    TopKInterface,
+    count_all,
+    size_change,
+)
+from repro.data import FreshTupleSchedule, SyntheticSource, zipf_weights
+
+ROUNDS = 12
+SHRINK_FROM = 7  # the store starts quietly purging apps here
+BUDGET_PER_ROUND = 400
+K = 100
+
+
+def build_store(seed: int) -> tuple[HiddenDatabase, SyntheticSource]:
+    schema = Schema(
+        [
+            Attribute("category", tuple(f"cat_{i}" for i in range(30))),
+            Attribute("pricing", ("free", "paid", "subscription")),
+            Attribute("rating_band", ("1", "2", "3", "4", "5")),
+            Attribute("platform", ("phone", "tablet", "both")),
+            Attribute("age_band", ("4+", "9+", "12+", "17+")),
+            Attribute("size_band", tuple(f"mb_{i}" for i in range(10))),
+            Attribute("language", tuple(f"lang_{i}" for i in range(12))),
+        ],
+        measures=(),
+    )
+    weights = [zipf_weights(a.size, 0.7) for a in schema.attributes]
+    source = SyntheticSource(schema, weights, seed=seed)
+    db = HiddenDatabase(schema)
+    for values, measures in source.batch(25_000):
+        db.insert(values, measures)
+    return db, source
+
+
+def main() -> None:
+    db, source = build_store(seed=21)
+    growth = FreshTupleSchedule(source, inserts_per_round=400)
+    purge = FreshTupleSchedule(
+        source, inserts_per_round=150, deletes_per_round=600
+    )
+
+    interface = TopKInterface(db, k=K)
+    count = count_all("apps")
+    specs = [count, size_change(count, name="growth")]
+    trackers = {
+        cls.name: cls(interface, specs, budget_per_round=BUDGET_PER_ROUND,
+                      seed=5)
+        for cls in (RestartEstimator, ReissueEstimator)
+    }
+
+    rng = random.Random(13)
+    previous_size = len(db)
+    print(f"{'round':>5} {'true growth':>12} {'REISSUE~':>10} "
+          f"{'RESTART~':>10}   claimed")
+    for round_number in range(1, ROUNDS + 1):
+        if round_number > 1:
+            schedule = purge if round_number >= SHRINK_FROM else growth
+            for mutation in schedule.plan(db, rng):
+                mutation()
+            db.advance_round()
+        true_growth = len(db) - previous_size
+        previous_size = len(db)
+        reports = {
+            name: tracker.run_round() for name, tracker in trackers.items()
+        }
+        claimed = "+400 apps/round (press release)"
+        print(
+            f"{round_number:>5} {true_growth:>+12d} "
+            f"{reports['REISSUE'].estimates['growth']:>+10.0f} "
+            f"{reports['RESTART'].estimates['growth']:>+10.0f}   {claimed}"
+        )
+    print(
+        "\nFrom round "
+        f"{SHRINK_FROM} the store actually shrinks by ~450 apps/round.  "
+        "REISSUE's\nper-drill-down deltas flag the reversal within a round "
+        "or two; RESTART's\ndifferenced estimates are noise at this change "
+        "magnitude (paper Figs. 15-17)."
+    )
+
+
+if __name__ == "__main__":
+    main()

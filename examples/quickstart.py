@@ -1,0 +1,66 @@
+"""Quickstart: track COUNT(*) of a changing hidden database for 12 rounds.
+
+Builds a scaled Yahoo!-Autos-like hidden database behind a top-100 search
+interface, lets it churn every round, and compares the paper's three
+estimators under a 200-queries-per-round budget.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    HiddenDatabase,
+    ReissueEstimator,
+    RestartEstimator,
+    RsEstimator,
+    TopKInterface,
+    count_all,
+)
+from repro.data import SnapshotPoolSchedule, apply_round, autos_snapshot
+
+ROUNDS = 12
+BUDGET_PER_ROUND = 300
+K = 100
+
+
+def main() -> None:
+    # --- the hidden database (simulator side; estimators never touch it) ---
+    schema, payloads = autos_snapshot(total=20_000, seed=7)
+    db = HiddenDatabase(schema)
+    for values, measures in payloads[:18_000]:
+        db.insert(values, measures)
+    schedule = SnapshotPoolSchedule(
+        payloads[18_000:], inserts_per_round=60, delete_fraction=0.001
+    )
+
+    # --- the clients: three estimators sharing one restrictive interface ---
+    interface = TopKInterface(db, k=K)
+    estimators = {
+        cls.name: cls(interface, [count_all()], budget_per_round=BUDGET_PER_ROUND,
+                      seed=5)
+        for cls in (RestartEstimator, ReissueEstimator, RsEstimator)
+    }
+
+    rng = random.Random(42)
+    print(f"{'round':>5} {'truth':>7}", *(f"{n:>18}" for n in estimators))
+    for round_number in range(1, ROUNDS + 1):
+        if round_number > 1:
+            apply_round(db, schedule, rng)
+            db.advance_round()
+        cells = []
+        for estimator in estimators.values():
+            report = estimator.run_round()
+            estimate = report.estimates["count"]
+            error = abs(estimate / len(db) - 1)
+            cells.append(f"{estimate:9.0f} ({error:5.1%})")
+        print(f"{round_number:>5} {len(db):>7}", *(f"{c:>18}" for c in cells))
+    print(
+        "\nEach cell is 'estimate (relative error)'.  REISSUE and RS reuse "
+        "historic\nquery answers, so their errors shrink round after round "
+        "while RESTART's\ndo not — the paper's core result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""Scenario: answering analytics questions you didn't think to ask in time.
+
+A tracker has been monitoring a used-car marketplace's COUNT(*) for a
+week.  On day 6 an analyst asks: "what was the average price of certified
+cars back on day 2, and how much did the total inventory value change
+between days 2 and 5?"  Nobody tracked those — but every page the
+drill-downs ever retrieved was archived, so the ad-hoc query model of the
+paper's §5.1 answers both retroactively, with zero additional queries
+against the rate-limited interface.
+
+Also demonstrates the §8 future-work extension: when the site displays
+"N results found", COUNT aggregates become exact at one query per round.
+
+Run:  python examples/retroactive_analytics.py
+"""
+
+import random
+
+from repro import (
+    HiddenDatabase,
+    RsEstimator,
+    TopKInterface,
+    avg_measure,
+    count_all,
+    sum_measure,
+)
+from repro.data import SnapshotPoolSchedule, apply_round, autos_snapshot
+from repro.extensions import CountAssistedEstimator, CountRevealingInterface
+
+DAYS = 6
+BUDGET_PER_DAY = 400
+K = 100
+
+
+def main() -> None:
+    schema, payloads = autos_snapshot(total=16_000, seed=23)
+    db = HiddenDatabase(schema)
+    for values, measures in payloads[:14_000]:
+        db.insert(values, measures)
+    schedule = SnapshotPoolSchedule(
+        payloads[14_000:], inserts_per_round=150, delete_fraction=0.004
+    )
+    interface = TopKInterface(db, k=K)
+
+    # The stream tracker only watches COUNT(*) — but archives everything.
+    tracker = RsEstimator(
+        interface, [count_all()], budget_per_round=BUDGET_PER_DAY, seed=6
+    )
+    archive = tracker.attach_archive()
+
+    rng = random.Random(3)
+    day_truth = {}
+    for day in range(1, DAYS + 1):
+        if day > 1:
+            apply_round(db, schedule, rng)
+            db.advance_round()
+        report = tracker.run_round()
+        day_truth[day] = {
+            "avg_cert": avg_measure(
+                schema, "price", where={"certified": "certified_0"}
+            ).ground_truth(db),
+            "inventory": sum_measure(schema, "price").ground_truth(db),
+        }
+        print(f"day {day}: tracked COUNT(*) ~ "
+              f"{report.estimates['count']:,.0f} (truth {len(db):,})")
+
+    print("\n--- day 6: the analyst's retroactive questions ---")
+    avg_cert = avg_measure(
+        schema, "price", where={"certified": "certified_0"},
+        name="avg_certified_price",
+    )
+    estimate = archive.estimate(avg_cert, round_index=2)
+    print(
+        f"AVG price of certified cars on day 2: ~${estimate.value:,.0f} "
+        f"(truth was ${day_truth[2]['avg_cert']:,.0f}; "
+        f"from {estimate.drilldowns} archived drill-downs, 0 new queries)"
+    )
+    inventory = sum_measure(schema, "price", name="inventory_value")
+    change = archive.estimate_change(inventory, from_round=2, to_round=5)
+    true_change = day_truth[5]["inventory"] - day_truth[2]["inventory"]
+    print(
+        f"Inventory value change, day 2 -> 5: ~${change.value:,.0f} "
+        f"(truth ${true_change:,.0f}, i.e. "
+        f"{true_change / day_truth[2]['inventory']:+.1%} of the total)"
+    )
+    print(
+        "  ^ asked late, the change must be differenced from two "
+        "independent estimates,\n    so a ~2% movement drowns in noise — "
+        "exactly why the stream model's\n    per-drill-down deltas "
+        "(paper Figs. 15-17) matter when you know the\n    question in "
+        "advance."
+    )
+
+    print("\n--- bonus: if the site revealed result counts (§8 ext.) ---")
+    assisted = CountAssistedEstimator(
+        CountRevealingInterface(interface),
+        [count_all("exact_count"), sum_measure(schema, "price",
+                                               name="sum_price")],
+        budget_per_round=BUDGET_PER_DAY,
+        seed=6,
+    )
+    report = assisted.run_round()
+    print(
+        f"COUNT(*) from one query, exact: {report.estimates['exact_count']:,.0f} "
+        f"(truth {len(db):,})\n"
+        f"SUM(price) via count-weighted drill-downs: "
+        f"~${report.estimates['sum_price']:,.0f} "
+        f"(truth ${day_truth[6]['inventory']:,.0f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so the package
+can be installed editable (``python setup.py develop`` or
+``pip install -e . --no-build-isolation``) in offline environments whose
+setuptools lacks the ``wheel`` package needed by the PEP 517 path.
+"""
+
+from setuptools import setup
+
+setup()

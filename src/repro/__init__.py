@@ -1,0 +1,104 @@
+"""repro — Aggregate Estimation Over Dynamic Hidden Web Databases.
+
+A faithful, self-contained reproduction of Liu, Thirumuruganathan, Zhang &
+Das (VLDB 2014): estimate and track COUNT / SUM / AVG aggregates over a
+database hidden behind a restrictive top-k search interface with a per-round
+query budget, while the database changes between rounds.
+
+Quick start::
+
+    from repro import (
+        HiddenDatabase, TopKInterface, RsEstimator, count_all,
+    )
+    from repro.data import autos_snapshot
+
+    schema, payloads = autos_snapshot(total=20_000, seed=7)
+    db = HiddenDatabase(schema)
+    for values, measures in payloads[:18_000]:
+        db.insert(values, measures)
+    interface = TopKInterface(db, k=100)
+    estimator = RsEstimator(interface, [count_all()], budget_per_round=300)
+    report = estimator.run_round()
+    print(report.estimates["count"], "vs truth", len(db))
+"""
+
+from .core import (
+    AggregateSpec,
+    ESTIMATOR_CLASSES,
+    EstimatorBase,
+    QueryTree,
+    RatioSpec,
+    ReissueEstimator,
+    RestartEstimator,
+    RoundReport,
+    RsEstimator,
+    RunningAverageSpec,
+    SizeChangeSpec,
+    avg_measure,
+    count_all,
+    count_where,
+    proportion_where,
+    running_average,
+    size_change,
+    sum_measure,
+)
+from .errors import (
+    EstimationError,
+    ExperimentError,
+    QueryBudgetExhausted,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+from .hiddendb import (
+    Attribute,
+    ConjunctiveQuery,
+    HiddenDatabase,
+    HiddenTuple,
+    QueryResult,
+    QuerySession,
+    QueryStatus,
+    Schema,
+    TopKInterface,
+    boolean_schema,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateSpec",
+    "Attribute",
+    "ConjunctiveQuery",
+    "ESTIMATOR_CLASSES",
+    "EstimationError",
+    "EstimatorBase",
+    "ExperimentError",
+    "HiddenDatabase",
+    "HiddenTuple",
+    "QueryBudgetExhausted",
+    "QueryError",
+    "QueryResult",
+    "QuerySession",
+    "QueryStatus",
+    "QueryTree",
+    "RatioSpec",
+    "ReissueEstimator",
+    "ReproError",
+    "RestartEstimator",
+    "RoundReport",
+    "RsEstimator",
+    "RunningAverageSpec",
+    "Schema",
+    "SchemaError",
+    "SizeChangeSpec",
+    "TopKInterface",
+    "avg_measure",
+    "boolean_schema",
+    "count_all",
+    "count_where",
+    "proportion_where",
+    "running_average",
+    "size_change",
+    "sum_measure",
+    "__version__",
+]

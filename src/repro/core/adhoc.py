@@ -1,0 +1,173 @@
+"""Ad-hoc query support (paper §5.1): retroactive aggregate estimation.
+
+The stream model tracks aggregates declared up front.  The *ad-hoc* model
+must answer aggregates that arrive later — possibly about a round that has
+already passed ("what was the change of database size from R1 to R2?",
+asked after R5).  The paper's observation: since every tuple a drill-down
+retrieved can be preserved client-side, one can "simulate" the estimation
+as if the query had been issued before the drill-downs were done.
+
+:class:`DrillDownArchive` implements exactly that.  Estimators opt in by
+attaching an archive; every completed drill-down outcome (signature, round,
+terminal node, returned tuples) is stored, and
+:meth:`DrillDownArchive.estimate` replays any linear aggregate against any
+archived round after the fact — zero additional queries.
+
+Two caveats carried over from the paper:
+
+* the archived drill-downs used the tree the estimator was configured
+  with, so selection pushdown cannot be applied retroactively — ad-hoc
+  aggregates with very selective conditions have higher variance than the
+  same aggregate tracked in the stream model (§5.1's performance remark);
+* only rounds the estimator actually worked in can be queried.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import EstimationError
+from ..hiddendb.tuples import HiddenTuple
+from .aggregates import AggregateSpec, RatioSpec
+from .drilldown import DrillOutcome
+from .tree import QueryTree
+from .variance import mean, variance_of_mean
+
+
+class ArchivedDrillDown:
+    """One drill-down's terminal state, frozen at a given round."""
+
+    __slots__ = ("round_index", "depth", "probability", "tuples",
+                 "leaf_overflow")
+
+    def __init__(
+        self,
+        round_index: int,
+        depth: int,
+        probability: float,
+        tuples: tuple[HiddenTuple, ...],
+        leaf_overflow: bool,
+    ):
+        self.round_index = round_index
+        self.depth = depth
+        #: p(q) of the terminal node at archive time.
+        self.probability = probability
+        self.tuples = tuples
+        self.leaf_overflow = leaf_overflow
+
+    def contribution(self, spec: AggregateSpec) -> float:
+        """Replay Q(q)/p(q) for an aggregate unseen at collection time."""
+        total = sum(
+            spec.tuple_value(t)
+            for t in self.tuples
+            if spec.matches_pushdown(t)
+        )
+        return total / self.probability
+
+
+class AdHocEstimate:
+    """Result of a retroactive estimation."""
+
+    __slots__ = ("value", "variance", "drilldowns", "round_index")
+
+    def __init__(self, value: float, variance: float, drilldowns: int,
+                 round_index: int):
+        self.value = value
+        self.variance = variance
+        self.drilldowns = drilldowns
+        self.round_index = round_index
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"AdHocEstimate({self.value:.4g} +- {math.sqrt(max(self.variance, 0)):.2g},"
+            f" round={self.round_index}, n={self.drilldowns})"
+        )
+
+
+class DrillDownArchive:
+    """Client-side store of every retrieved page, indexed by round.
+
+    Attach to any estimator via its ``archive`` attribute hook (see
+    :meth:`repro.core.estimators.base.EstimatorBase.attach_archive`); the
+    estimator records each completed outcome automatically.
+    """
+
+    def __init__(self, tree: QueryTree):
+        self.tree = tree
+        self._by_round: dict[int, list[ArchivedDrillDown]] = {}
+
+    def record(self, outcome: DrillOutcome, round_index: int) -> None:
+        """Archive one completed drill-down outcome."""
+        archived = ArchivedDrillDown(
+            round_index,
+            outcome.depth,
+            self.tree.selection_probability(outcome.depth),
+            outcome.result.tuples,
+            outcome.leaf_overflow,
+        )
+        self._by_round.setdefault(round_index, []).append(archived)
+
+    # ------------------------------------------------------------------
+    def rounds(self) -> list[int]:
+        """Rounds with archived drill-downs, ascending."""
+        return sorted(self._by_round)
+
+    def drilldowns_in(self, round_index: int) -> int:
+        return len(self._by_round.get(round_index, ()))
+
+    def estimate(
+        self, spec: AggregateSpec | RatioSpec, round_index: int
+    ) -> AdHocEstimate:
+        """Retroactively estimate an aggregate over an archived round."""
+        archived = self._by_round.get(round_index)
+        if not archived:
+            raise EstimationError(
+                f"no archived drill-downs for round {round_index}"
+            )
+        if isinstance(spec, RatioSpec):
+            numerator = self.estimate(spec.numerator, round_index)
+            denominator = self.estimate(spec.denominator, round_index)
+            if denominator.value == 0:
+                value = math.nan
+            else:
+                value = numerator.value / denominator.value
+            return AdHocEstimate(
+                value, math.inf, len(archived), round_index
+            )
+        values = [a.contribution(spec) for a in archived]
+        return AdHocEstimate(
+            mean(values),
+            variance_of_mean(values),
+            len(archived),
+            round_index,
+        )
+
+    def estimate_change(
+        self,
+        spec: AggregateSpec,
+        from_round: int,
+        to_round: int,
+    ) -> AdHocEstimate:
+        """Retroactive trans-round change Q(D_to) - Q(D_from).
+
+        Uses the difference of the two rounds' archived estimates; unlike
+        the stream model there is no guarantee the same signatures appear
+        in both rounds, so the variances add (the price of asking late).
+        """
+        start = self.estimate(spec, from_round)
+        end = self.estimate(spec, to_round)
+        return AdHocEstimate(
+            end.value - start.value,
+            start.variance + end.variance,
+            min(start.drilldowns, end.drilldowns),
+            to_round,
+        )
+
+    def retrieved_tuples(self, round_index: int) -> list[HiddenTuple]:
+        """Every distinct tuple seen in a round (exploratory use)."""
+        seen: dict[int, HiddenTuple] = {}
+        for archived in self._by_round.get(round_index, ()):
+            for t in archived.tuples:
+                seen[t.tid] = t
+        return list(seen.values())

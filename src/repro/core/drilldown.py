@@ -1,0 +1,132 @@
+"""Drill-down walks: fresh drill-downs and reissue updates.
+
+A *drill-down* (paper §3.1) walks a random root-to-leaf path top-down and
+stops at the first non-overflowing node — the *top non-overflowing query*
+``q(r)`` for that signature.  A *reissue update* (§3.1, §3.2.2) revisits a
+signature in a later round starting from where the walk stopped last time:
+
+* if the remembered node overflows now, descend until non-overflowing
+  (Case 2 — the node's parent is known to overflow, so it is top);
+* otherwise, walk *up* re-asking ancestors until the parent overflows
+  (Cases 1 and 3) — this is the sound "strict" mode matching §4.1's
+  two-queries-per-stable-drill-down accounting;
+* ``parent_check="lazy"`` reproduces Algorithm 1 literally: a currently
+  valid node is accepted without confirming its parent still overflows.
+  That saves one query per stable drill-down but silently mis-prices p(q)
+  after heavy deletions (measured in the parent-check ablation).
+
+Both walks return the same :class:`DrillOutcome`; the unbiasedness of every
+estimator rests on the invariant that, in strict mode, ``reissue_update``
+terminates at exactly the node ``drill_from_root`` would find for the same
+signature and database state (property-tested).
+"""
+
+from __future__ import annotations
+
+from ..errors import QueryError
+from ..hiddendb.result import QueryResult
+from ..hiddendb.session import QuerySession
+from .tree import QueryTree, Signature
+
+#: Accepted parent-check policies for reissue updates.
+PARENT_CHECK_MODES = ("strict", "lazy")
+
+
+class DrillOutcome:
+    """Terminal state of one drill-down or reissue-update walk."""
+
+    __slots__ = ("signature", "depth", "result", "queries_spent", "leaf_overflow")
+
+    def __init__(
+        self,
+        signature: Signature,
+        depth: int,
+        result: QueryResult,
+        queries_spent: int,
+        leaf_overflow: bool = False,
+    ):
+        self.signature = signature
+        #: Depth of the top non-overflowing node (== tree.max_depth when the
+        #: walk hit an overflowing leaf; then ``leaf_overflow`` is set).
+        self.depth = depth
+        self.result = result
+        self.queries_spent = queries_spent
+        #: True when even the leaf overflowed (tuples colliding on every
+        #: searchable attribute) — estimates from this outcome are biased.
+        self.leaf_overflow = leaf_overflow
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"DrillOutcome(depth={self.depth}, status={self.result.status.value},"
+            f" cost={self.queries_spent})"
+        )
+
+
+def drill_from_root(
+    session: QuerySession, tree: QueryTree, signature: Signature
+) -> DrillOutcome:
+    """Walk the signature's path from the root down to ``q(r)``."""
+    start = session.queries_used
+    depth = 0
+    result = session.search(tree.query_at(signature, depth))
+    while result.overflow and depth < tree.max_depth:
+        depth += 1
+        result = session.search(tree.query_at(signature, depth))
+    return DrillOutcome(
+        signature,
+        depth,
+        result,
+        session.queries_used - start,
+        leaf_overflow=result.overflow,
+    )
+
+
+def reissue_update(
+    session: QuerySession,
+    tree: QueryTree,
+    signature: Signature,
+    start_depth: int,
+    parent_check: str = "strict",
+) -> DrillOutcome:
+    """Re-locate ``q(r)`` in the current round, starting from ``start_depth``.
+
+    ``start_depth`` is the depth where the drill-down terminated when last
+    updated.  Query cost is whatever the walk needs: 1 query if the node
+    overflows and its child is terminal, 2 for a stable drill-down in
+    strict mode, up to a full path in pathological churn.
+    """
+    if parent_check not in PARENT_CHECK_MODES:
+        raise QueryError(f"unknown parent_check mode {parent_check!r}")
+    if start_depth < 0 or start_depth > tree.max_depth:
+        raise QueryError(f"start_depth {start_depth} out of range")
+    start = session.queries_used
+    depth = start_depth
+    result = session.search(tree.query_at(signature, depth))
+    if result.overflow:
+        # Case 2: everything above still overflows (it returned >k before and
+        # this node still does, so ancestors, being supersets, overflow too).
+        while result.overflow and depth < tree.max_depth:
+            depth += 1
+            result = session.search(tree.query_at(signature, depth))
+        return DrillOutcome(
+            signature,
+            depth,
+            result,
+            session.queries_used - start,
+            leaf_overflow=result.overflow,
+        )
+    if parent_check == "lazy" and result.valid:
+        # Algorithm 1 verbatim: accept a currently-valid node as-is.
+        return DrillOutcome(signature, depth, result, session.queries_used - start)
+    # Walk up until the parent overflows (or we reach the root).  In lazy
+    # mode this branch only runs for underflowing nodes ("roll up"), in
+    # strict mode for every non-overflowing node.
+    while depth > 0:
+        parent_result = session.search(tree.query_at(signature, depth - 1))
+        if parent_result.overflow:
+            break
+        depth -= 1
+        result = parent_result
+        if parent_check == "lazy" and result.valid:
+            break
+    return DrillOutcome(signature, depth, result, session.queries_used - start)

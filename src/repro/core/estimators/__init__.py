@@ -1,0 +1,23 @@
+"""The three dynamic-aggregate estimators of the paper."""
+
+from .base import DrillDownRecord, EstimatorBase, RoundReport
+from .reissue import ReissueEstimator
+from .restart import RestartEstimator
+from .rs import RsEstimator
+
+#: Registry used by the experiment harness and CLI.
+ESTIMATOR_CLASSES = {
+    "RESTART": RestartEstimator,
+    "REISSUE": ReissueEstimator,
+    "RS": RsEstimator,
+}
+
+__all__ = [
+    "DrillDownRecord",
+    "ESTIMATOR_CLASSES",
+    "EstimatorBase",
+    "ReissueEstimator",
+    "RestartEstimator",
+    "RoundReport",
+    "RsEstimator",
+]

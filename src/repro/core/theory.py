@@ -1,0 +1,85 @@
+"""Closed-form theory from §3.2.2: when does reissuing beat restarting?
+
+Implements Theorem 3.2's standard-error ratio bound for the deletion-only
+worst case, and the drill-down-depth lower bound (16) it rests on.  These
+are used by tests (sanity of the implementation against the theory) and are
+exposed so users can predict, from coarse database statistics, whether
+REISSUE is expected to win on their workload — e.g. Figure 7's k=1 regime
+where RESTART wins is exactly where this bound exceeds 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def restart_expected_cost_lower_bound(
+    n: int, k: int, max_domain_size: int
+) -> float:
+    """Eq. (16): E[c_S] >= log(n/k) / log(max |U_i|).
+
+    The expected root-to-terminal path length of a fresh drill-down over an
+    ``n``-tuple database with a top-``k`` interface.
+    """
+    if n <= 0 or k <= 0:
+        raise ValueError("n and k must be positive")
+    if max_domain_size < 2:
+        raise ValueError("max domain size must be at least 2")
+    if n <= k:
+        return 0.0
+    return math.log(n / k) / math.log(max_domain_size)
+
+
+def reissue_error_ratio_bound(
+    n: int, nd: int, k: int, domain_sizes: Sequence[int]
+) -> float:
+    """Theorem 3.2, Eq. (7): upper bound on s_I / s_S after deleting nd of n.
+
+    ``s_I`` is REISSUE's standard error on the *new* database, ``s_S``
+    RESTART's on the old one.  A bound below 1 certifies REISSUE wins in
+    the deletion-only worst case.
+    """
+    if not 0 <= nd <= n:
+        raise ValueError("nd must be within [0, n]")
+    if not domain_sizes:
+        raise ValueError("domain_sizes must be non-empty")
+    if n <= k:
+        # Degenerate: the root never overflows, both algorithms read the
+        # whole database with one query.
+        return 1.0
+    survival = 1.0 - nd / n
+    max_log_domain = max(math.log(size) for size in domain_sizes)
+    depth_term = 2.0 * max_log_domain / (math.log(n) - math.log(k))
+    underflow_term = (nd / n) ** (k + 1)
+    return survival * math.sqrt(depth_term + underflow_term)
+
+
+def reissue_beats_restart(
+    n: int, nd: int, k: int, domain_sizes: Sequence[int]
+) -> bool:
+    """Sufficient condition for s_I < s_S (Theorem 3.2's closing remark).
+
+    When the expected fresh-drill-down depth is at least 2, the bound
+    simplifies to ``s_I^2 <= (1 - (nd/n)^2) s_S^2 < s_S^2``.
+    """
+    expected_depth = restart_expected_cost_lower_bound(
+        n, k, max(domain_sizes)
+    )
+    if expected_depth >= 2.0 and nd > 0:
+        return True
+    return reissue_error_ratio_bound(n, nd, k, domain_sizes) < 1.0
+
+
+def reissue_variance_ratio_no_change(h1: int, h2: int, h: int, h_prime: int) -> float:
+    """§3.2.1 Example 1: variance ratio REISSUE/RESTART for |Di|-|Di-1|.
+
+    With no database change, REISSUE updating ``h1`` drill-downs and adding
+    ``h2`` new ones has variance ``sigma^2 * h2 / (h1 (h1+h2))`` against
+    RESTART's ``sigma^2 (1/h + 1/h')``; the ratio is independent of sigma.
+    """
+    if min(h1, h, h_prime) <= 0 or h2 < 0:
+        raise ValueError("drill-down counts must be positive (h2 >= 0)")
+    reissue = h2 / (h1 * (h1 + h2)) if h2 else 0.0
+    restart = 1.0 / h + 1.0 / h_prime
+    return reissue / restart

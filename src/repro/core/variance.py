@@ -1,0 +1,113 @@
+"""Small statistics helpers shared by the estimators.
+
+Everything here is deliberately dependency-free (plain floats): estimators
+call these in inner loops and the inputs are short lists of drill-down
+contributions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+#: Variance floor used when combining estimates, so a degenerate group
+#: (zero observed variance) cannot swallow all the weight numerically.
+VARIANCE_FLOOR = 1e-12
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input (callers must guard)."""
+    return sum(values) / len(values)
+
+
+def sample_variance(values: Sequence[float]) -> float:
+    """Unbiased (Bessel-corrected) sample variance; 0.0 for n < 2."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    centre = mean(values)
+    return sum((v - centre) ** 2 for v in values) / (n - 1)
+
+
+def variance_of_mean(values: Sequence[float]) -> float:
+    """Estimated variance of the sample mean, s^2 / n."""
+    n = len(values)
+    if n == 0:
+        return math.inf
+    if n == 1:
+        return math.inf  # one draw says nothing about its own spread
+    return sample_variance(values) / n
+
+
+def combine_inverse_variance(
+    estimates: Iterable[tuple[float, float]],
+) -> tuple[float, float]:
+    """Optimal linear combination of independent unbiased estimates.
+
+    Takes ``(estimate, variance)`` pairs; returns the inverse-variance
+    weighted mean and its variance ``1 / sum(1/var)`` (Theorem 4.2's optimum
+    generalised to any number of groups, Corollary 4.2).
+
+    Pairs with non-finite variance are ignored; if every pair is ignored a
+    ``ValueError`` is raised.  Variances are floored to keep weights finite.
+    """
+    total_weight = 0.0
+    weighted_sum = 0.0
+    for estimate, variance in estimates:
+        if not math.isfinite(estimate) or not math.isfinite(variance):
+            continue
+        weight = 1.0 / max(variance, VARIANCE_FLOOR)
+        total_weight += weight
+        weighted_sum += weight * estimate
+    if total_weight == 0.0:
+        raise ValueError("no finite estimates to combine")
+    return weighted_sum / total_weight, 1.0 / total_weight
+
+
+def ratio_variance(
+    numerator: float,
+    numerator_variance: float,
+    denominator: float,
+    denominator_variance: float,
+) -> float:
+    """First-order (delta-method) variance of a ratio estimator.
+
+    Used for AVG = SUM/COUNT, which the paper notes is only asymptotically
+    unbiased.  Covariance between numerator and denominator is dropped —
+    this is a reporting aid, not part of any estimator's decisions.
+    """
+    if denominator == 0:
+        return math.inf
+    ratio = numerator / denominator
+    return (
+        numerator_variance / denominator**2
+        + ratio**2 * denominator_variance / denominator**2
+    )
+
+
+class RunningStat:
+    """Welford one-pass mean/variance accumulator."""
+
+    __slots__ = ("count", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Bessel-corrected sample variance (0.0 when count < 2)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)

@@ -1,0 +1,47 @@
+"""Dataset surrogates and dynamic update workloads."""
+
+from .autos import (
+    AUTOS_DEFAULT_INITIAL,
+    AUTOS_DOMAIN_SIZES,
+    AUTOS_TOTAL_TUPLES,
+    autos_schema,
+    autos_snapshot,
+    autos_source,
+)
+from .schedules import (
+    CompositeSchedule,
+    FreshTupleSchedule,
+    IntraRoundDriver,
+    MeasureDriftSchedule,
+    NullSchedule,
+    SnapshotPoolSchedule,
+    apply_round,
+)
+from .synthetic import (
+    SyntheticSource,
+    skewed_source,
+    uniform_boolean_source,
+    uniform_weights,
+    zipf_weights,
+)
+
+__all__ = [
+    "AUTOS_DEFAULT_INITIAL",
+    "AUTOS_DOMAIN_SIZES",
+    "AUTOS_TOTAL_TUPLES",
+    "CompositeSchedule",
+    "FreshTupleSchedule",
+    "IntraRoundDriver",
+    "MeasureDriftSchedule",
+    "NullSchedule",
+    "SnapshotPoolSchedule",
+    "SyntheticSource",
+    "apply_round",
+    "autos_schema",
+    "autos_snapshot",
+    "autos_source",
+    "skewed_source",
+    "uniform_boolean_source",
+    "uniform_weights",
+    "zipf_weights",
+]

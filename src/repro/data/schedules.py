@@ -1,0 +1,250 @@
+"""Update schedules: how the hidden database changes between (or within) rounds.
+
+A schedule's :meth:`~UpdateSchedule.plan` returns a list of *single-mutation
+thunks* for the upcoming round.  The round-update model executes them all at
+the round boundary; the constant-update model (§5.2) hands the same plan to
+an :class:`IntraRoundDriver`, which interleaves the mutations with the
+estimator's query traffic — the database then changes in the middle of
+algorithm execution, exactly the worst case of the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Protocol, Sequence
+
+from ..hiddendb.database import HiddenDatabase
+from .synthetic import Payload, SyntheticSource
+
+#: One mutation: a no-argument callable applying a single insert/delete/update.
+Mutation = Callable[[], None]
+
+
+class UpdateSchedule(Protocol):
+    """Anything that can plan one round's worth of mutations."""
+
+    def plan(self, db: HiddenDatabase, rng: random.Random) -> list[Mutation]:
+        """Mutations for the next round, in execution order."""
+        ...
+
+
+def apply_round(
+    db: HiddenDatabase, schedule: "UpdateSchedule", rng: random.Random
+) -> int:
+    """Plan and apply a full round of updates; returns the mutation count."""
+    mutations = schedule.plan(db, rng)
+    for mutation in mutations:
+        mutation()
+    return len(mutations)
+
+
+class NullSchedule:
+    """No changes — the static-database extreme of §3.2.1 Example 1."""
+
+    def plan(self, db: HiddenDatabase, rng: random.Random) -> list[Mutation]:
+        return []
+
+
+class SnapshotPoolSchedule:
+    """Insert from a finite pool, delete back into it (the Autos workload).
+
+    The paper's default schedule: start with a subset of the snapshot;
+    each round insert ``inserts_per_round`` tuples sampled from the held-out
+    pool and delete ``delete_fraction`` (or ``deletes_per_round``) of the
+    current database, returning deleted payloads to the pool so the content
+    universe stays the snapshot.
+    """
+
+    def __init__(
+        self,
+        pool: list[Payload],
+        inserts_per_round: int = 0,
+        delete_fraction: float = 0.0,
+        deletes_per_round: int | None = None,
+    ):
+        if delete_fraction < 0 or delete_fraction > 1:
+            raise ValueError("delete_fraction must be within [0, 1]")
+        self.pool = list(pool)
+        self.inserts_per_round = inserts_per_round
+        self.delete_fraction = delete_fraction
+        self.deletes_per_round = deletes_per_round
+
+    def _num_deletes(self, db_size: int) -> int:
+        if self.deletes_per_round is not None:
+            return min(self.deletes_per_round, db_size)
+        return int(round(db_size * self.delete_fraction))
+
+    def plan(self, db: HiddenDatabase, rng: random.Random) -> list[Mutation]:
+        mutations: list[Mutation] = []
+        num_inserts = min(self.inserts_per_round, len(self.pool))
+        for _ in range(num_inserts):
+            payload = self.pool.pop(rng.randrange(len(self.pool)))
+            values, measures = payload
+
+            def do_insert(v: bytes = values, m: tuple[float, ...] = measures):
+                db.insert(v, m)
+
+            mutations.append(do_insert)
+        for tid in db.store.random_tids(rng, self._num_deletes(len(db))):
+
+            def do_delete(t: int = tid):
+                if t not in db.store:
+                    return  # deleted by another schedule in this composite
+                deleted = db.delete(t)
+                self.pool.append((deleted.values, deleted.measures))
+
+            mutations.append(do_delete)
+        rng.shuffle(mutations)
+        return mutations
+
+
+class FreshTupleSchedule:
+    """Insert newly generated tuples; delete uniformly at random.
+
+    For workloads whose insert volume exceeds any snapshot (the paper's
+    big-change scenarios: +10,000 inserted and 5% deleted per round).
+    """
+
+    def __init__(
+        self,
+        source: SyntheticSource,
+        inserts_per_round: int = 0,
+        delete_fraction: float = 0.0,
+        deletes_per_round: int | None = None,
+    ):
+        self.source = source
+        self.inserts_per_round = inserts_per_round
+        self.delete_fraction = delete_fraction
+        self.deletes_per_round = deletes_per_round
+
+    def plan(self, db: HiddenDatabase, rng: random.Random) -> list[Mutation]:
+        mutations: list[Mutation] = []
+        for _ in range(self.inserts_per_round):
+
+            def do_insert():
+                values, measures = self.source.one(rng)
+                db.insert(values, measures)
+
+            mutations.append(do_insert)
+        if self.deletes_per_round is not None:
+            num_deletes = min(self.deletes_per_round, len(db))
+        else:
+            num_deletes = int(round(len(db) * self.delete_fraction))
+        for tid in db.store.random_tids(rng, num_deletes):
+
+            def do_delete(t: int = tid):
+                if t in db.store:
+                    db.delete(t)
+
+            mutations.append(do_delete)
+        rng.shuffle(mutations)
+        return mutations
+
+
+class MeasureDriftSchedule:
+    """Re-price a fraction of tuples each round (marketplace dynamics).
+
+    ``updater(t, rng, round_index)`` returns the tuple's new measure vector.
+    Selection can be restricted with ``selector`` (e.g. only BID listings).
+    """
+
+    def __init__(
+        self,
+        fraction: float,
+        updater: Callable[..., tuple[float, ...]],
+        selector: Callable[..., bool] | None = None,
+    ):
+        if not 0 <= fraction <= 1:
+            raise ValueError("fraction must be within [0, 1]")
+        self.fraction = fraction
+        self.updater = updater
+        self.selector = selector
+
+    def plan(self, db: HiddenDatabase, rng: random.Random) -> list[Mutation]:
+        round_index = db.current_round + 1
+        candidates = [
+            t.tid
+            for t in db.tuples()
+            if self.selector is None or self.selector(t)
+        ]
+        count = int(round(len(candidates) * self.fraction))
+        mutations: list[Mutation] = []
+        for tid in (
+            rng.sample(candidates, count) if count < len(candidates)
+            else candidates
+        ):
+
+            def do_update(t: int = tid):
+                if t not in db.store:
+                    return  # deleted by another schedule in this composite
+                current = db.store.get(t)
+                db.update_measures(
+                    t, self.updater(current, rng, round_index)
+                )
+
+            mutations.append(do_update)
+        return mutations
+
+
+class CompositeSchedule:
+    """Run several schedules' plans back to back each round."""
+
+    def __init__(self, schedules: Sequence[UpdateSchedule]):
+        self.schedules = tuple(schedules)
+
+    def plan(self, db: HiddenDatabase, rng: random.Random) -> list[Mutation]:
+        mutations: list[Mutation] = []
+        for schedule in self.schedules:
+            mutations.extend(schedule.plan(db, rng))
+        return mutations
+
+
+class IntraRoundDriver:
+    """Spread a round's mutations across the round's query traffic (§5.2).
+
+    Attach :attr:`on_query` as the session's per-query hook; after each
+    charged query the driver applies the proportional share of the round's
+    planned mutations.  Mutations left over at the end of the round (e.g.
+    because the estimator under-spent its budget) are flushed by
+    :meth:`finish_round`.
+    """
+
+    def __init__(
+        self,
+        db: HiddenDatabase,
+        schedule: UpdateSchedule,
+        queries_per_round: int,
+        rng: random.Random,
+    ):
+        if queries_per_round < 1:
+            raise ValueError("queries_per_round must be positive")
+        self.db = db
+        self.schedule = schedule
+        self.queries_per_round = queries_per_round
+        self.rng = rng
+        self._pending: list[Mutation] = []
+        self._planned = 0
+        self._queries_seen = 0
+
+    def start_round(self) -> None:
+        """Plan the upcoming round's mutations; apply none yet."""
+        self._pending = self.schedule.plan(self.db, self.rng)
+        self._planned = len(self._pending)
+        self._queries_seen = 0
+
+    def on_query(self) -> None:
+        """Session hook: apply mutations due at this point of the round."""
+        self._queries_seen += 1
+        due = min(
+            self._planned,
+            int(round(self._planned * self._queries_seen / self.queries_per_round)),
+        )
+        applied = self._planned - len(self._pending)
+        while applied < due and self._pending:
+            self._pending.pop(0)()
+            applied += 1
+
+    def finish_round(self) -> None:
+        """Flush mutations the query traffic did not reach."""
+        while self._pending:
+            self._pending.pop(0)()

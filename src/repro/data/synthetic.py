@@ -1,0 +1,168 @@
+"""Synthetic hidden-database content generators.
+
+A :class:`SyntheticSource` couples a schema with per-attribute value
+distributions and a measure sampler.  It can produce a bulk snapshot (to
+load a database and fill an insertion pool) and endless fresh tuples (for
+schedules that insert more rows than any snapshot holds).
+
+Value sampling is vectorised with numpy; payloads are ``(values, measures)``
+pairs that :meth:`repro.hiddendb.database.HiddenDatabase.insert` accepts
+directly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import SchemaError
+from ..hiddendb.schema import Attribute, Schema
+
+#: A tuple payload: categorical values plus measure values.
+Payload = tuple[bytes, tuple[float, ...]]
+
+#: Signature of a measure sampler: rng -> measure vector.
+MeasureSampler = Callable[[random.Random], tuple[float, ...]]
+
+
+def zipf_weights(size: int, exponent: float = 0.8) -> np.ndarray:
+    """Zipf-like weights over ``size`` values — real catalogs are skewed."""
+    ranks = np.arange(1, size + 1, dtype=float)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def uniform_weights(size: int) -> np.ndarray:
+    """Uniform weights over ``size`` values."""
+    return np.full(size, 1.0 / size)
+
+
+class SyntheticSource:
+    """Generates tuple payloads for a schema.
+
+    Parameters
+    ----------
+    schema:
+        Target schema.
+    attr_weights:
+        Per-attribute value-probability vectors; ``None`` means uniform on
+        every attribute.
+    measure_sampler:
+        Draws the measure vector for one tuple; ``None`` produces empty
+        measures (schema must then declare no measures).
+    seed:
+        Seed of the source's own generator (bulk sampling); per-call RNGs
+        can be supplied for reproducible interleaving with schedules.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        attr_weights: Sequence[np.ndarray] | None = None,
+        measure_sampler: MeasureSampler | None = None,
+        seed: int = 0,
+    ):
+        self.schema = schema
+        if attr_weights is None:
+            attr_weights = [uniform_weights(a.size) for a in schema.attributes]
+        if len(attr_weights) != schema.num_attributes:
+            raise SchemaError("attr_weights length must match attribute count")
+        for attribute, weights in zip(schema.attributes, attr_weights):
+            if len(weights) != attribute.size:
+                raise SchemaError(
+                    f"weight vector for {attribute.name!r} has wrong length"
+                )
+        self.attr_weights = [np.asarray(w, dtype=float) for w in attr_weights]
+        if measure_sampler is None and schema.measures:
+            raise SchemaError(
+                "schema declares measures but no measure_sampler was given"
+            )
+        self.measure_sampler = measure_sampler
+        self._np_rng = np.random.default_rng(seed)
+        self._py_rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Bulk generation
+    # ------------------------------------------------------------------
+    def batch(
+        self,
+        count: int,
+        distinct: bool = True,
+        max_attempts: int = 20,
+    ) -> list[Payload]:
+        """Generate ``count`` payloads, optionally distinct on values.
+
+        The paper assumes all tuples are distinct; with realistic attribute
+        counts collisions are vanishingly rare, so rejection sampling
+        converges immediately.
+        """
+        payloads: list[Payload] = []
+        seen: set[bytes] = set()
+        attempts = 0
+        while len(payloads) < count:
+            attempts += 1
+            if attempts > max_attempts:
+                raise SchemaError(
+                    f"could not generate {count} distinct value vectors "
+                    f"(leaf space too small?)"
+                )
+            needed = count - len(payloads)
+            columns = [
+                self._np_rng.choice(len(w), size=needed, p=w)
+                for w in self.attr_weights
+            ]
+            matrix = np.stack(columns, axis=1).astype(np.uint8)
+            for row in matrix:
+                values = row.tobytes()
+                if distinct:
+                    if values in seen:
+                        continue
+                    seen.add(values)
+                payloads.append((values, self._sample_measures()))
+                if len(payloads) == count:
+                    break
+        return payloads
+
+    def one(self, rng: random.Random | None = None) -> Payload:
+        """Generate a single payload (used by fresh-insert schedules)."""
+        rng = rng if rng is not None else self._py_rng
+        values = bytes(
+            rng.choices(range(len(weights)), weights=weights)[0]
+            for weights in self.attr_weights
+        )
+        return values, self._sample_measures(rng)
+
+    def _sample_measures(
+        self, rng: random.Random | None = None
+    ) -> tuple[float, ...]:
+        if self.measure_sampler is None:
+            return ()
+        return self.measure_sampler(rng if rng is not None else self._py_rng)
+
+
+def uniform_boolean_source(
+    num_attributes: int, seed: int = 0
+) -> SyntheticSource:
+    """I.i.d. uniform Boolean attributes — the paper's §3.2.1 example."""
+    attrs = [Attribute(f"A{i}", ("0", "1")) for i in range(num_attributes)]
+    return SyntheticSource(Schema(attrs), seed=seed)
+
+
+def skewed_source(
+    domain_sizes: Sequence[int],
+    exponent: float = 0.8,
+    measures: Sequence[str] = (),
+    measure_sampler: MeasureSampler | None = None,
+    seed: int = 0,
+) -> SyntheticSource:
+    """A generic skewed categorical source with the given domain sizes."""
+    attrs = [
+        Attribute(f"A{i}", size) for i, size in enumerate(domain_sizes)
+    ]
+    schema = Schema(attrs, measures=measures)
+    weights = [zipf_weights(size, exponent) for size in domain_sizes]
+    return SyntheticSource(
+        schema, weights, measure_sampler=measure_sampler, seed=seed
+    )

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so a
+caller can catch everything library-specific with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this package."""
+
+
+class SchemaError(ReproError):
+    """A schema definition or a value vector is invalid."""
+
+
+class QueryError(ReproError):
+    """A search query is malformed (unknown attribute, bad value index)."""
+
+
+class QueryBudgetExhausted(ReproError):
+    """The per-round query budget was exhausted mid-operation.
+
+    Estimators catch this to stop work for the round; anything already
+    charged to the budget stays charged (a real web API does not refund
+    requests either).
+    """
+
+    def __init__(self, budget: int, message: str | None = None):
+        self.budget = budget
+        super().__init__(message or f"query budget of {budget} exhausted")
+
+
+class EstimationError(ReproError):
+    """An estimator cannot produce an estimate (e.g. no completed drill-downs)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is inconsistent or an experiment failed."""

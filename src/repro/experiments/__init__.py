@@ -1,0 +1,20 @@
+"""Experiment harness: runner, ground truth, metrics, figures, CLI."""
+
+from .ascii_chart import render_chart, render_table
+from .figures import FIGURES, FigureResult
+from .ground_truth import GroundTruthTracker
+from .metrics import ExperimentResult, relative_error
+from .runner import EstimatorFactory, Experiment, default_estimators
+
+__all__ = [
+    "ExperimentResult",
+    "EstimatorFactory",
+    "Experiment",
+    "FIGURES",
+    "FigureResult",
+    "GroundTruthTracker",
+    "default_estimators",
+    "relative_error",
+    "render_chart",
+    "render_table",
+]

@@ -1,0 +1,114 @@
+"""Minimal ASCII line charts for terminal reporting.
+
+The benchmark harness and CLI print each figure's series as both a table
+and a chart; no plotting dependency is available offline, and a text chart
+in the captured benchmark output is exactly what EXPERIMENTS.md references.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Glyphs assigned to series, in declaration order.
+_MARKERS = "*o+x#@%&"
+
+
+def _finite(values: Sequence[float]) -> list[float]:
+    return [v for v in values if v is not None and math.isfinite(v)]
+
+
+def render_chart(
+    series: Mapping[str, Sequence[float]],
+    width: int = 68,
+    height: int = 16,
+    y_label: str = "",
+    x_label: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render named series (shared x = index) as an ASCII chart."""
+    all_values = [v for values in series.values() for v in _finite(values)]
+    if not all_values:
+        return "(no finite data to chart)"
+    positive = [v for v in all_values if v > 0]
+    use_log = log_y and positive
+    if use_log:
+        lo = math.log10(min(positive))
+        hi = math.log10(max(positive))
+    else:
+        lo = min(all_values)
+        hi = max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    length = max(len(values) for values in series.values())
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_row(value: float) -> int | None:
+        if not math.isfinite(value):
+            return None
+        if use_log:
+            if value <= 0:
+                return None
+            value = math.log10(value)
+        fraction = (value - lo) / (hi - lo)
+        return height - 1 - round(fraction * (height - 1))
+
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for position, value in enumerate(values):
+            row = to_row(value)
+            if row is None:
+                continue
+            column = (
+                round(position * (width - 1) / (length - 1))
+                if length > 1
+                else 0
+            )
+            grid[row][column] = marker
+    top = f"{(10 ** hi if use_log else hi):.4g}"
+    bottom = f"{(10 ** lo if use_log else lo):.4g}"
+    lines = []
+    if y_label:
+        lines.append(y_label + (" (log scale)" if use_log else ""))
+    for row_index, row in enumerate(grid):
+        prefix = top if row_index == 0 else (
+            bottom if row_index == height - 1 else ""
+        )
+        lines.append(f"{prefix:>10} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    if x_label:
+        lines.append(" " * 12 + x_label)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width table with right-aligned numeric formatting."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if math.isnan(cell):
+                return "nan"
+            if cell != 0 and (abs(cell) >= 1e5 or abs(cell) < 1e-3):
+                return f"{cell:.3e}"
+            return f"{cell:.4f}"
+        return str(cell)
+
+    table = [[fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in table)) if table
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in table:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Per-figure experiment builders and the figure registry."""
+
+from .ablations import (
+    run_ablation_attr_order,
+    run_ablation_bootstrap,
+    run_ablation_client_cache,
+    run_ablation_parent_check,
+)
+from .common import DEFAULT_SCALE, DEFAULT_TRIALS, FigureResult
+from .efficiency import run_fig18, run_fig19
+from .intra_round import run_fig04
+from .live import run_fig20, run_fig21
+from .single_round import run_fig02, run_fig03, run_fig05, run_fig06, run_fig07
+from .sweeps import (
+    run_fig08,
+    run_fig09,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+)
+from .trans_round import run_fig14, run_fig15, run_fig16, run_fig17
+
+#: Every reproducible figure, keyed the way the CLI and benchmarks name them.
+FIGURES = {
+    "fig02": run_fig02,
+    "fig03": run_fig03,
+    "fig04": run_fig04,
+    "fig05": run_fig05,
+    "fig06": run_fig06,
+    "fig07": run_fig07,
+    "fig08": run_fig08,
+    "fig09": run_fig09,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "fig16": run_fig16,
+    "fig17": run_fig17,
+    "fig18": run_fig18,
+    "fig19": run_fig19,
+    "fig20": run_fig20,
+    "fig21": run_fig21,
+    "ablation_parent_check": run_ablation_parent_check,
+    "ablation_client_cache": run_ablation_client_cache,
+    "ablation_bootstrap": run_ablation_bootstrap,
+    "ablation_attr_order": run_ablation_attr_order,
+}
+
+__all__ = ["DEFAULT_SCALE", "DEFAULT_TRIALS", "FIGURES", "FigureResult"] + [
+    name for name in dir() if name.startswith("run_")
+]

@@ -1,0 +1,188 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* A — strict vs lazy parent checking in reissue updates: the lazy walk
+  (Algorithm 1 verbatim) skips re-validating an accepted node's parent and
+  silently mis-prices p(q) after heavy deletions.
+* B — within-round client-side answer cache: how much of REISSUE's edge
+  survives if RESTART is allowed to cache duplicate queries in a round.
+* C — RS bootstrap budget ϖ: too little = noisy change estimates, too
+  much = budget wasted on pilots.
+* D — drill-down attribute order: small domains first (schema order)
+  vs large domains first.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from ...core.aggregates import count_all
+from ..runner import EstimatorFactory
+from .common import (
+    DEFAULT_SCALE,
+    DEFAULT_TRIALS,
+    FigureResult,
+    autos_env_factory,
+    run_three_way,
+    scaled_k,
+)
+
+
+def _count_specs(schema):
+    return [count_all()]
+
+
+def run_ablation_parent_check(
+    scale: float = DEFAULT_SCALE,
+    trials: int = DEFAULT_TRIALS,
+    rounds: int = 25,
+    budget: int = 500,
+    seed: int = 0,
+) -> FigureResult:
+    """Ablation A: strict vs lazy reissue walks under deletion-heavy churn."""
+    estimators = [
+        EstimatorFactory("REISSUE-strict", "REISSUE", parent_check="strict"),
+        EstimatorFactory("REISSUE-lazy", "REISSUE", parent_check="lazy"),
+    ]
+    factory = autos_env_factory(
+        scale=scale, inserts_per_round=0, delete_fraction=0.03,
+    )
+    result = run_three_way(
+        "ablA", factory, _count_specs,
+        k=scaled_k(scale), budget=budget, rounds=rounds, trials=trials,
+        estimators=estimators, seed=seed,
+    )
+    series = {
+        name: result.mean_rel_error_series(name, "count")
+        for name in result.estimator_names
+    }
+    return FigureResult(
+        "ablation_parent_check",
+        "Strict vs lazy parent checking under heavy deletions",
+        x_label="round",
+        y_label="relative error",
+        xs=result.rounds,
+        series=series,
+        notes="The lazy walk accepts stale top-nodes whose parents no "
+        "longer overflow, mis-pricing p(q).",
+    )
+
+
+def run_ablation_client_cache(
+    scale: float = DEFAULT_SCALE,
+    trials: int = DEFAULT_TRIALS,
+    rounds: int = 25,
+    budget: int = 500,
+    seed: int = 0,
+) -> FigureResult:
+    """Ablation B: does a within-round client cache rescue RESTART?"""
+    estimators = [
+        EstimatorFactory("RESTART", "RESTART"),
+        EstimatorFactory("RESTART-cache", "RESTART", cache_within_round=True),
+        EstimatorFactory("REISSUE", "REISSUE"),
+    ]
+    result = run_three_way(
+        "ablB", autos_env_factory(scale=scale), _count_specs,
+        k=scaled_k(scale), budget=budget, rounds=rounds, trials=trials,
+        estimators=estimators, seed=seed,
+    )
+    series = {
+        name: result.mean_rel_error_series(name, "count")
+        for name in result.estimator_names
+    }
+    return FigureResult(
+        "ablation_client_cache",
+        "RESTART with a within-round answer cache vs REISSUE",
+        x_label="round",
+        y_label="relative error",
+        xs=result.rounds,
+        series=series,
+        notes="Caching duplicate shallow queries helps RESTART, but it "
+        "still cannot reuse knowledge across rounds.",
+    )
+
+
+def run_ablation_bootstrap(
+    scale: float = DEFAULT_SCALE,
+    trials: int = DEFAULT_TRIALS,
+    rounds: int = 30,
+    budget: int = 500,
+    seed: int = 0,
+    pilot_counts=(4, 10, 25),
+) -> FigureResult:
+    """Ablation C: RS bootstrap budget ϖ (pilot drill-downs per group)."""
+    estimators = [
+        EstimatorFactory(f"RS(w={w})", "RS", bootstrap_per_group=w)
+        for w in pilot_counts
+    ]
+    result = run_three_way(
+        "ablC", autos_env_factory(scale=scale), _count_specs,
+        k=scaled_k(scale), budget=budget, rounds=rounds, trials=trials,
+        estimators=estimators, seed=seed,
+    )
+    series = {
+        name: result.mean_rel_error_series(name, "count")
+        for name in result.estimator_names
+    }
+    return FigureResult(
+        "ablation_bootstrap",
+        "RS sensitivity to the bootstrap budget",
+        x_label="round",
+        y_label="relative error",
+        xs=result.rounds,
+        series=series,
+        notes="The default w=10 balances pilot cost against allocation "
+        "quality.",
+    )
+
+
+def run_ablation_attr_order(
+    scale: float = DEFAULT_SCALE,
+    trials: int = DEFAULT_TRIALS,
+    rounds: int = 20,
+    budget: int = 500,
+    seed: int = 0,
+) -> FigureResult:
+    """Ablation D: drill-down attribute order (small vs large domains first)."""
+
+    def large_first_order(schema):
+        return sorted(
+            range(schema.num_attributes),
+            key=lambda i: -schema.attributes[i].size,
+        )
+
+    # free_order must be resolved per schema; build via a tiny factory shim.
+    class _OrderedFactory(EstimatorFactory):
+        def build(self, interface, specs, budget_, seed_):
+            return self.cls(
+                interface, specs, budget_per_round=budget_, seed=seed_,
+                free_order=large_first_order(interface.schema),
+            )
+
+    estimators = [
+        EstimatorFactory("REISSUE-small-first", "REISSUE"),
+        _OrderedFactory("REISSUE-large-first", "REISSUE"),
+    ]
+    result = run_three_way(
+        "ablD", autos_env_factory(scale=scale), _count_specs,
+        k=scaled_k(scale), budget=budget, rounds=rounds, trials=trials,
+        estimators=estimators, seed=seed,
+    )
+    series = {
+        name: result.mean_rel_error_series(name, "count")
+        for name in result.estimator_names
+    }
+    queries_note = " | ".join(
+        f"{name}: {result.mean_queries_per_round(name):.0f} q/round, "
+        f"{statistics.mean(d for trial in result.drilldowns[name] for d in trial):.1f} drills/round"
+        for name in result.estimator_names
+    )
+    return FigureResult(
+        "ablation_attr_order",
+        "Drill-down attribute order: small-domain-first vs large-first",
+        x_label="round",
+        y_label="relative error",
+        xs=result.rounds,
+        series=series,
+        notes="Large domains first = fatter fan-out near the root = "
+        f"shallower drill-downs. {queries_note}",
+    )

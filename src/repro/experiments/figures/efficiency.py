@@ -1,0 +1,106 @@
+"""Figures 18–19: query-cost efficiency.
+
+* Figure 18 — queries per round needed to reach a target relative error:
+  for each target the smallest per-round budget whose tracking run settles
+  at or below the target.
+* Figure 19 — cumulative drill-downs performed vs cumulative queries
+  spent: REISSUE/RS convert the same budget into far more drill-downs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...core.aggregates import count_all
+from .common import (
+    DEFAULT_SCALE,
+    DEFAULT_TRIALS,
+    FigureResult,
+    autos_env_factory,
+    run_three_way,
+    scaled_k,
+)
+
+
+def _count_specs(schema):
+    return [count_all()]
+
+
+def run_fig18(
+    scale: float = DEFAULT_SCALE,
+    trials: int = DEFAULT_TRIALS,
+    rounds: int = 15,
+    seed: int = 0,
+    targets=(0.28, 0.21, 0.14),
+    budget_grid=(40, 80, 120, 180, 260, 360, 480, 620),
+) -> FigureResult:
+    """Figure 18: smallest budget achieving each relative-error target."""
+    env = autos_env_factory(scale=scale)
+    k = scaled_k(scale)
+    # One tracking run per candidate budget; scan each estimator's tail
+    # error and record the first (smallest) budget under each target.
+    runs = {
+        budget: run_three_way(
+            f"fig18_g{budget}", env, _count_specs, k=k, budget=budget,
+            rounds=rounds, trials=trials, seed=seed,
+        )
+        for budget in budget_grid
+    }
+    estimators = next(iter(runs.values())).estimator_names
+    series = {estimator: [] for estimator in estimators}
+    for target in targets:
+        for estimator in estimators:
+            needed = math.nan
+            for budget in budget_grid:
+                if runs[budget].tail_rel_error(estimator, "count") <= target:
+                    needed = float(budget)
+                    break
+            series[estimator].append(needed)
+    return FigureResult(
+        "fig18",
+        "Per-round query budget needed to reach an error target",
+        x_label="target relative error",
+        y_label="queries per round",
+        xs=list(targets),
+        series=series,
+        notes="Lower is better; REISSUE/RS need a fraction of RESTART's "
+        "budget for the same accuracy (paper Fig. 18).  NaN = not "
+        "reachable within the scanned grid.",
+    )
+
+
+def run_fig19(
+    scale: float = DEFAULT_SCALE,
+    trials: int = DEFAULT_TRIALS,
+    rounds: int = 50,
+    budget: int = 500,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 19: cumulative drill-downs vs cumulative query cost."""
+    result = run_three_way(
+        "fig19",
+        autos_env_factory(scale=scale),
+        _count_specs,
+        k=scaled_k(scale),
+        budget=budget,
+        rounds=rounds,
+        trials=trials,
+        seed=seed,
+    )
+    series = {
+        estimator: result.cumulative_drilldowns(estimator)
+        for estimator in result.estimator_names
+    }
+    # The x axis is cumulative queries, identical across estimators since
+    # every algorithm spends its full per-round budget.
+    xs = result.cumulative_queries(result.estimator_names[0])
+    return FigureResult(
+        "fig19",
+        "Cumulative drill-downs for the same cumulative query cost",
+        x_label="cumulative queries",
+        y_label="cumulative drill-downs",
+        xs=xs,
+        series=series,
+        notes="Historic answers let REISSUE/RS squeeze several times more "
+        "drill-downs out of the same budget (paper Fig. 19).",
+    )

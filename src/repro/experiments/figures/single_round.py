@@ -1,0 +1,235 @@
+"""Figures 2, 3, 5, 6, 7: single-round COUNT(*) tracking accuracy.
+
+* Figure 2 — default Autos churn, relative error per round.
+* Figure 3 — same run, raw-estimate error bars (trial spread).
+* Figure 5 — little change (+1 tuple/round): REISSUE plateaus, RS keeps
+  improving.
+* Figure 6 — big change (+10k/−5% per round): both beat RESTART.
+* Figure 7 — big change with k=1: the Theorem-3.2 regime where RESTART
+  wins.
+"""
+
+from __future__ import annotations
+
+from ...core.aggregates import count_all
+from ...data.autos import autos_source
+from ...data.schedules import FreshTupleSchedule
+from ...hiddendb.database import HiddenDatabase
+from .common import (
+    DEFAULT_SCALE,
+    DEFAULT_TRIALS,
+    FigureResult,
+    autos_env_factory,
+    error_series_figure,
+    run_three_way,
+    scaled_k,
+)
+
+#: Query budget the paper uses for the single-round accuracy figures.
+SINGLE_ROUND_BUDGET = 500
+
+
+def _count_specs(schema):
+    return [count_all()]
+
+
+def run_fig02(
+    scale: float = DEFAULT_SCALE,
+    trials: int = DEFAULT_TRIALS,
+    rounds: int = 50,
+    budget: int = SINGLE_ROUND_BUDGET,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 2: relative error of COUNT(*) per round, default churn."""
+    result = run_three_way(
+        "fig02",
+        autos_env_factory(scale=scale),
+        _count_specs,
+        k=scaled_k(scale),
+        budget=budget,
+        rounds=rounds,
+        trials=trials,
+        seed=seed,
+    )
+    return error_series_figure(
+        "fig02",
+        "Relative error, COUNT(*), default Autos churn",
+        result,
+        "count",
+        notes=f"scale={scale}, G={budget}, k={scaled_k(scale)}",
+    )
+
+
+def run_fig03(
+    scale: float = DEFAULT_SCALE,
+    trials: int = max(DEFAULT_TRIALS, 5),
+    rounds: int = 50,
+    budget: int = SINGLE_ROUND_BUDGET,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 3: raw estimates (relative size) with across-trial spread."""
+    result = run_three_way(
+        "fig03",
+        autos_env_factory(scale=scale),
+        _count_specs,
+        k=scaled_k(scale),
+        budget=budget,
+        rounds=rounds,
+        trials=trials,
+        seed=seed,
+    )
+    truth = result.truth_series("count")
+    series: dict[str, list[float]] = {}
+    for estimator in result.estimator_names:
+        estimates = result.estimate_series(estimator, "count")
+        spreads = result.estimate_spread(estimator, "count")
+        series[estimator] = [e / t for e, t in zip(estimates, truth)]
+        series[f"{estimator}+sd"] = [
+            (e + s) / t for e, s, t in zip(estimates, spreads, truth)
+        ]
+        series[f"{estimator}-sd"] = [
+            (e - s) / t for e, s, t in zip(estimates, spreads, truth)
+        ]
+    return FigureResult(
+        "fig03",
+        "Raw estimates relative to truth (error bars = trial std dev)",
+        x_label="round",
+        y_label="relative size",
+        xs=result.rounds,
+        series=series,
+        notes="All three stay centred on 1.0 (unbiased); RS has the "
+        "shortest bars.",
+    )
+
+
+def run_fig05(
+    scale: float = DEFAULT_SCALE,
+    trials: int = DEFAULT_TRIALS,
+    rounds: int = 50,
+    budget: int = SINGLE_ROUND_BUDGET,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 5: little change — one inserted tuple per round."""
+    factory = autos_env_factory(
+        scale=scale, inserts_per_round=int(1 / max(scale, 1e-9)),
+        delete_fraction=0.0,
+    )
+    # inserts_per_round is pre-scaled inside the factory; the expression
+    # above cancels the scaling so exactly one tuple lands per round.
+    result = run_three_way(
+        "fig05",
+        factory,
+        _count_specs,
+        k=scaled_k(scale),
+        budget=budget,
+        rounds=rounds,
+        trials=trials,
+        seed=seed,
+    )
+    return error_series_figure(
+        "fig05",
+        "Relative error under little change (+1 tuple/round)",
+        result,
+        "count",
+        notes="REISSUE tapers off; RS keeps decreasing (paper §4).",
+    )
+
+
+def _shallow_tree_estimators():
+    """All three algorithms drilling large domains first.
+
+    The paper's big-change experiments (Figs. 6-7) exhibit the k=1
+    crossover of Theorem 3.2 only when fresh drill-downs are *shallow*
+    (big fan-out near the root).  Our Autos surrogate orders attributes
+    small-domain-first by default, which makes k=1 drill-downs a dozen
+    levels deep and keeps REISSUE ahead; flipping the drill order to
+    large-domain-first recreates the paper's regime.  See the
+    attribute-order ablation for the isolated effect.
+    """
+    from ...data.autos import AUTOS_DOMAIN_SIZES
+    from ..runner import EstimatorFactory
+
+    order = tuple(
+        sorted(range(len(AUTOS_DOMAIN_SIZES)),
+               key=lambda i: -AUTOS_DOMAIN_SIZES[i])
+    )
+    return [
+        EstimatorFactory(name, name, free_order=order)
+        for name in ("RESTART", "REISSUE", "RS")
+    ]
+
+
+def _big_change_factory(scale: float, inserts: int, delete_fraction: float,
+                        start: int):
+    n_start = max(50, int(round(start * scale)))
+    n_inserts = max(1, int(round(inserts * scale)))
+
+    def factory(seed: int):
+        source = autos_source(seed=seed)
+        db = HiddenDatabase(source.schema)
+        for values, measures in source.batch(n_start):
+            db.insert(values, measures)
+        schedule = FreshTupleSchedule(
+            source,
+            inserts_per_round=n_inserts,
+            delete_fraction=delete_fraction,
+        )
+        return db, schedule
+
+    return factory
+
+
+def run_fig06(
+    scale: float = DEFAULT_SCALE,
+    trials: int = DEFAULT_TRIALS,
+    rounds: int = 10,
+    budget: int = SINGLE_ROUND_BUDGET,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 6: big change — start 100k, +10000 and −5% per round."""
+    result = run_three_way(
+        "fig06",
+        _big_change_factory(scale, 10_000, 0.05, 100_000),
+        _count_specs,
+        k=scaled_k(scale),
+        budget=budget,
+        rounds=rounds,
+        trials=trials,
+        estimators=_shallow_tree_estimators(),
+        seed=seed,
+    )
+    return error_series_figure(
+        "fig06",
+        "Relative error under big change (+10k/-5% per round)",
+        result,
+        "count",
+    )
+
+
+def run_fig07(
+    scale: float = DEFAULT_SCALE,
+    trials: int = DEFAULT_TRIALS,
+    rounds: int = 20,
+    budget: int = SINGLE_ROUND_BUDGET,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 7: big change with k=1 — RESTART wins (Theorem 3.2 regime)."""
+    result = run_three_way(
+        "fig07",
+        _big_change_factory(scale, 10_000, 0.05, 100_000),
+        _count_specs,
+        k=1,
+        budget=budget,
+        rounds=rounds,
+        trials=trials,
+        estimators=_shallow_tree_estimators(),
+        seed=seed,
+    )
+    return error_series_figure(
+        "fig07",
+        "Big change with k=1: reissuing loses its edge",
+        result,
+        "count",
+        notes="With k=1, a heavily churned drill-down underflows and must "
+        "roll far up, so updates cost as much as fresh drill-downs.",
+    )

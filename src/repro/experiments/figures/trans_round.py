@@ -1,0 +1,165 @@
+"""Figures 14–17: trans-round aggregates.
+
+* Figure 14 — running average of COUNT over the last 2/3/4 rounds.
+* Figure 15 — size change |Di|-|Di-1| under small churn, relative error
+  (log scale): RESTART is catastrophic because differencing two noisy
+  independent estimates swamps the tiny true change.
+* Figure 16 — the same runs, raw size-change estimates vs truth.
+* Figure 17 — size change under big churn: everyone converges, RESTART
+  still trails.
+"""
+
+from __future__ import annotations
+
+from ...core.aggregates import count_all, running_average, size_change
+from .common import (
+    DEFAULT_SCALE,
+    DEFAULT_TRIALS,
+    FigureResult,
+    autos_env_factory,
+    error_series_figure,
+    run_three_way,
+    scaled_k,
+)
+
+
+def run_fig14(
+    scale: float = DEFAULT_SCALE,
+    trials: int = DEFAULT_TRIALS,
+    rounds: int = 30,
+    budget: int = 500,
+    seed: int = 0,
+    windows=(2, 3, 4),
+) -> FigureResult:
+    """Figure 14: running average of COUNT over the last w rounds."""
+
+    def specs_factory(schema):
+        count = count_all()
+        return [count] + [running_average(w, base=count) for w in windows]
+
+    result = run_three_way(
+        "fig14",
+        autos_env_factory(scale=scale),
+        specs_factory,
+        k=scaled_k(scale),
+        budget=budget,
+        rounds=rounds,
+        trials=trials,
+        seed=seed,
+    )
+    series = {
+        estimator: [
+            result.tail_rel_error(estimator, f"running_avg_{w}")
+            for w in windows
+        ]
+        for estimator in result.estimator_names
+    }
+    return FigureResult(
+        "fig14",
+        "Running-average COUNT error vs window size",
+        x_label="window (rounds)",
+        y_label="relative error",
+        xs=list(windows),
+        series=series,
+        notes="RS best in all cases; REISSUE and RS far ahead of RESTART "
+        "(paper Fig. 14).",
+    )
+
+
+def _size_change_specs(schema):
+    count = count_all()
+    return [count, size_change(count)]
+
+
+def run_fig15(
+    scale: float = DEFAULT_SCALE,
+    trials: int = DEFAULT_TRIALS,
+    rounds: int = 20,
+    budget: int = 500,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 15: |Di|-|Di-1| under small churn, relative error (log y)."""
+    # A deep held-out pool (total >> initial) keeps +3000/round sustainable
+    # for the whole run; otherwise the pool dries up, the true change hits
+    # zero, and relative error is undefined.
+    factory = autos_env_factory(
+        scale=scale, inserts_per_round=3000, delete_fraction=0.005,
+        total=300_000,
+    )
+    result = run_three_way(
+        "fig15", factory, _size_change_specs,
+        k=scaled_k(scale), budget=budget, rounds=rounds, trials=trials,
+        seed=seed,
+    )
+    return error_series_figure(
+        "fig15",
+        "Size-change tracking error under small churn (log scale)",
+        result,
+        "size_change",
+        notes="RESTART differences two noisy independent estimates of a "
+        "tiny quantity — errors orders of magnitude above REISSUE/RS.",
+        log_y=True,
+    )
+
+
+def run_fig16(
+    scale: float = DEFAULT_SCALE,
+    trials: int = DEFAULT_TRIALS,
+    rounds: int = 20,
+    budget: int = 500,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 16: raw size-change estimates vs the exact change."""
+    factory = autos_env_factory(
+        scale=scale, inserts_per_round=3000, delete_fraction=0.005,
+        total=300_000,
+    )
+    result = run_three_way(
+        "fig16", factory, _size_change_specs,
+        k=scaled_k(scale), budget=budget, rounds=rounds, trials=trials,
+        seed=seed,
+    )
+    series = {"TRUTH": result.truth_series("size_change")}
+    for estimator in result.estimator_names:
+        series[estimator] = result.estimate_series(estimator, "size_change")
+    return FigureResult(
+        "fig16",
+        "Raw size-change estimates vs exact change (small churn)",
+        x_label="round",
+        y_label="|Di| - |Di-1|",
+        xs=result.rounds,
+        series=series,
+        notes="REISSUE/RS hug the truth; RESTART swings wildly "
+        "(paper Fig. 16).",
+    )
+
+
+def run_fig17(
+    scale: float = DEFAULT_SCALE,
+    trials: int = DEFAULT_TRIALS,
+    rounds: int = 10,
+    budget: int = 500,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 17: size change under big churn (+10k/-5% per round)."""
+    factory = autos_env_factory(
+        scale=scale,
+        inserts_per_round=10_000,
+        delete_fraction=0.05,
+        initial=100_000,
+        total=188_917,
+    )
+    result = run_three_way(
+        "fig17", factory, _size_change_specs,
+        k=scaled_k(scale), budget=budget, rounds=rounds, trials=trials,
+        seed=seed,
+    )
+    return error_series_figure(
+        "fig17",
+        "Size-change tracking error under big churn",
+        result,
+        "size_change",
+        notes="REISSUE and RS converge to the same behaviour under heavy "
+        "change (paper §4.2); both beat RESTART.",
+        log_y=True,
+    )

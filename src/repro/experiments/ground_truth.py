@@ -1,0 +1,104 @@
+"""Exact ground truth, maintained incrementally (simulator-side only).
+
+The tracker subscribes to the database's mutation stream and keeps running
+totals for every linear base spec, so even million-tuple sweeps pay O(1)
+per mutation instead of O(n) scans per round.  Derived specs (ratios,
+size changes, running averages) are computed from per-round snapshots.
+
+Estimators never see any of this; it exists to score them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..core.aggregates import (
+    AggregateSpec,
+    AnySpec,
+    RatioSpec,
+    RunningAverageSpec,
+    SizeChangeSpec,
+    base_specs_of,
+)
+from ..hiddendb.database import HiddenDatabase
+from ..hiddendb.tuples import HiddenTuple
+
+
+class GroundTruthTracker:
+    """Running exact values of every tracked aggregate, per round."""
+
+    def __init__(self, db: HiddenDatabase, specs: Sequence[AnySpec]):
+        self.db = db
+        self.specs = list(specs)
+        self.base_specs = base_specs_of(self.specs)
+        self._totals: dict[str, float] = {}
+        for spec in self.base_specs:
+            self._totals[spec.name] = spec.ground_truth(db)
+        #: Round index -> {spec name: exact value} snapshots.
+        self._snapshots: dict[int, dict[str, float]] = {}
+        db.store.subscribe(self._on_mutation)
+
+    # ------------------------------------------------------------------
+    def _on_mutation(self, event: str, t: HiddenTuple) -> None:
+        for spec in self.base_specs:
+            value = spec.full_tuple_value(t)
+            if value:
+                if event == "insert":
+                    self._totals[spec.name] += value
+                else:
+                    self._totals[spec.name] -= value
+
+    def current(self, spec_name: str) -> float:
+        """Live running total of a base spec."""
+        return self._totals[spec_name]
+
+    # ------------------------------------------------------------------
+    def record_round(self, round_index: int) -> dict[str, float]:
+        """Snapshot every spec's exact value for the given round."""
+        snapshot: dict[str, float] = {}
+        for spec in self.base_specs:
+            snapshot[spec.name] = self._totals[spec.name]
+        for spec in self.specs:
+            if isinstance(spec, AggregateSpec):
+                continue
+            if isinstance(spec, RatioSpec):
+                denominator = snapshot.get(spec.denominator.name, 0.0)
+                numerator = snapshot.get(spec.numerator.name, math.nan)
+                snapshot[spec.name] = (
+                    numerator / denominator if denominator else math.nan
+                )
+            elif isinstance(spec, SizeChangeSpec):
+                previous = self._snapshots.get(round_index - 1)
+                if previous is None:
+                    snapshot[spec.name] = math.nan
+                else:
+                    snapshot[spec.name] = (
+                        snapshot[spec.base.name] - previous[spec.base.name]
+                    )
+            elif isinstance(spec, RunningAverageSpec):
+                window = []
+                for past in range(round_index - spec.window + 1, round_index):
+                    past_snapshot = self._snapshots.get(past)
+                    if past_snapshot is not None:
+                        window.append(past_snapshot[spec.base.name])
+                window.append(snapshot[spec.base.name])
+                snapshot[spec.name] = sum(window) / len(window)
+        self._snapshots[round_index] = snapshot
+        return snapshot
+
+    def truth(self, round_index: int, spec_name: str) -> float:
+        """Recorded exact value for a spec in a given round."""
+        return self._snapshots[round_index][spec_name]
+
+    def verify_against_scan(self) -> None:
+        """Cross-check running totals against a full scan (tests only)."""
+        for spec in self.base_specs:
+            scanned = spec.ground_truth(self.db)
+            drift = abs(self._totals[spec.name] - scanned)
+            tolerance = 1e-6 * max(1.0, abs(scanned))
+            if drift > tolerance:
+                raise AssertionError(
+                    f"ground-truth drift for {spec.name!r}: "
+                    f"tracked={self._totals[spec.name]!r} scanned={scanned!r}"
+                )

@@ -1,0 +1,169 @@
+"""Result containers and accuracy metrics for experiments.
+
+The paper reports *relative error* ``|theta~ - theta| / |theta|`` per round
+(averaged over trials) plus raw-estimate error bars.  An
+:class:`ExperimentResult` stores everything needed for both (and for the
+efficiency figures: query and drill-down counts).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """|estimate - truth| / |truth|; NaN-safe; inf when truth is zero."""
+    if math.isnan(estimate) or math.isnan(truth):
+        return math.nan
+    if truth == 0:
+        return math.inf if estimate != 0 else 0.0
+    return abs(estimate - truth) / abs(truth)
+
+
+class ExperimentResult:
+    """Estimates, truths and costs of one experiment (all trials).
+
+    Layout: ``estimates[estimator][trial][round_position][spec]`` with
+    parallel ``truths[trial][round_position][spec]``; ``rounds`` maps round
+    positions to the database's round indexes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        estimator_names: Sequence[str],
+        spec_names: Sequence[str],
+    ):
+        self.name = name
+        self.estimator_names = list(estimator_names)
+        self.spec_names = list(spec_names)
+        self.rounds: list[int] = []
+        self.truths: list[list[dict[str, float]]] = []
+        self.estimates: dict[str, list[list[dict[str, float]]]] = {
+            estimator: [] for estimator in estimator_names
+        }
+        self.queries: dict[str, list[list[int]]] = {
+            estimator: [] for estimator in estimator_names
+        }
+        self.drilldowns: dict[str, list[list[int]]] = {
+            estimator: [] for estimator in estimator_names
+        }
+
+    # ------------------------------------------------------------------
+    # Recording (used by the runner)
+    # ------------------------------------------------------------------
+    def start_trial(self) -> None:
+        self.truths.append([])
+        for estimator in self.estimator_names:
+            self.estimates[estimator].append([])
+            self.queries[estimator].append([])
+            self.drilldowns[estimator].append([])
+
+    def record_truth(self, round_index: int, snapshot: dict[str, float]) -> None:
+        if len(self.truths) == 1:
+            self.rounds.append(round_index)
+        self.truths[-1].append(dict(snapshot))
+
+    def record_report(
+        self,
+        estimator: str,
+        estimates: dict[str, float],
+        queries_used: int,
+        drilldowns: int,
+    ) -> None:
+        self.estimates[estimator][-1].append(dict(estimates))
+        self.queries[estimator][-1].append(queries_used)
+        self.drilldowns[estimator][-1].append(drilldowns)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    @property
+    def num_trials(self) -> int:
+        return len(self.truths)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def rel_errors(self, estimator: str, spec: str) -> np.ndarray:
+        """(trials, rounds) matrix of per-round relative errors."""
+        if estimator not in self.estimates:
+            raise ExperimentError(f"unknown estimator {estimator!r}")
+        matrix = np.full((self.num_trials, self.num_rounds), np.nan)
+        for trial in range(self.num_trials):
+            for position in range(len(self.truths[trial])):
+                truth = self.truths[trial][position].get(spec, math.nan)
+                estimate = self.estimates[estimator][trial][position].get(
+                    spec, math.nan
+                )
+                matrix[trial, position] = relative_error(estimate, truth)
+        return matrix
+
+    def mean_rel_error_series(self, estimator: str, spec: str) -> list[float]:
+        """Per-round relative error averaged over trials (paper's y-axis)."""
+        matrix = self.rel_errors(estimator, spec)
+        with np.errstate(invalid="ignore"):
+            return [float(v) for v in np.nanmean(matrix, axis=0)]
+
+    def final_rel_error(self, estimator: str, spec: str) -> float:
+        """Trial-mean relative error at the last round."""
+        return self.mean_rel_error_series(estimator, spec)[-1]
+
+    def tail_rel_error(self, estimator: str, spec: str, tail: int = 5) -> float:
+        """Trial-and-round mean over the last ``tail`` rounds (stabler)."""
+        series = self.mean_rel_error_series(estimator, spec)
+        window = [v for v in series[-tail:] if not math.isnan(v)]
+        return sum(window) / len(window) if window else math.nan
+
+    def estimate_series(self, estimator: str, spec: str) -> list[float]:
+        """Per-round estimates averaged over trials (raw tracking plots)."""
+        values = []
+        for position in range(self.num_rounds):
+            draws = [
+                self.estimates[estimator][trial][position].get(spec, math.nan)
+                for trial in range(self.num_trials)
+            ]
+            finite = [v for v in draws if not math.isnan(v)]
+            values.append(sum(finite) / len(finite) if finite else math.nan)
+        return values
+
+    def estimate_spread(self, estimator: str, spec: str) -> list[float]:
+        """Per-round standard deviation of estimates across trials."""
+        spreads = []
+        for position in range(self.num_rounds):
+            draws = [
+                self.estimates[estimator][trial][position].get(spec, math.nan)
+                for trial in range(self.num_trials)
+            ]
+            finite = [v for v in draws if not math.isnan(v)]
+            if len(finite) >= 2:
+                spreads.append(float(np.std(finite, ddof=1)))
+            else:
+                spreads.append(math.nan)
+        return spreads
+
+    def truth_series(self, spec: str) -> list[float]:
+        """Per-round exact values (trial 0; identical when envs share seeds)."""
+        return [
+            self.truths[0][position].get(spec, math.nan)
+            for position in range(self.num_rounds)
+        ]
+
+    def mean_queries_per_round(self, estimator: str) -> float:
+        flat = [q for trial in self.queries[estimator] for q in trial]
+        return sum(flat) / len(flat) if flat else math.nan
+
+    def cumulative_drilldowns(self, estimator: str) -> list[float]:
+        """Trial-mean cumulative drill-down count per round (Figure 19)."""
+        matrix = np.asarray(self.drilldowns[estimator], dtype=float)
+        return [float(v) for v in np.cumsum(matrix, axis=1).mean(axis=0)]
+
+    def cumulative_queries(self, estimator: str) -> list[float]:
+        matrix = np.asarray(self.queries[estimator], dtype=float)
+        return [float(v) for v in np.cumsum(matrix, axis=1).mean(axis=0)]

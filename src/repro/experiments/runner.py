@@ -1,0 +1,220 @@
+"""The experiment runner: trials, rounds, estimators, ground truth.
+
+An :class:`Experiment` wires together an environment factory (database +
+update schedule, built fresh per trial), an interface configuration (k),
+a set of estimator factories, the tracked aggregates, and the round/trial
+counts.  Two update models are supported:
+
+* round mode (default): all of a round's mutations apply at the boundary;
+* intra-round mode (§5.2 / Figure 4): each estimator gets its *own* copy of
+  the environment and the round's mutations are interleaved with its query
+  traffic via :class:`~repro.data.schedules.IntraRoundDriver`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Mapping, Sequence
+
+from ..core.aggregates import AnySpec, base_specs_of
+from ..core.estimators import ESTIMATOR_CLASSES, EstimatorBase
+from ..data.schedules import IntraRoundDriver, UpdateSchedule, apply_round
+from ..errors import ExperimentError
+from ..hiddendb.database import HiddenDatabase
+from ..hiddendb.interface import TopKInterface
+from ..hiddendb.schema import Schema
+from .ground_truth import GroundTruthTracker
+from .metrics import ExperimentResult
+
+#: Environment per trial: the database plus its update schedule.
+Env = tuple[HiddenDatabase, UpdateSchedule]
+
+#: Builds a fresh environment for a trial seed.
+EnvFactory = Callable[[int], Env]
+
+#: Builds the tracked aggregates once the schema is known.
+SpecsFactory = Callable[[Schema], Sequence[AnySpec]]
+
+
+class EstimatorFactory:
+    """Named constructor for one estimator configuration."""
+
+    def __init__(self, name: str, cls: type[EstimatorBase] | str, **kwargs):
+        self.name = name
+        if isinstance(cls, str):
+            try:
+                cls = ESTIMATOR_CLASSES[cls]
+            except KeyError:
+                raise ExperimentError(f"unknown estimator {cls!r}") from None
+        self.cls = cls
+        self.kwargs = dict(kwargs)
+
+    def build(
+        self,
+        interface: TopKInterface,
+        specs: Sequence[AnySpec],
+        budget: int,
+        seed: int,
+    ) -> EstimatorBase:
+        return self.cls(
+            interface, specs, budget_per_round=budget, seed=seed, **self.kwargs
+        )
+
+
+def default_estimators() -> list[EstimatorFactory]:
+    """The paper's three algorithms with default settings."""
+    return [
+        EstimatorFactory("RESTART", "RESTART"),
+        EstimatorFactory("REISSUE", "REISSUE"),
+        EstimatorFactory("RS", "RS"),
+    ]
+
+
+class Experiment:
+    """A repeatable multi-round, multi-trial estimator comparison."""
+
+    def __init__(
+        self,
+        name: str,
+        env_factory: EnvFactory,
+        specs_factory: SpecsFactory,
+        k: int,
+        budget_per_round: int,
+        rounds: int,
+        trials: int = 1,
+        estimators: Sequence[EstimatorFactory] | None = None,
+        base_seed: int = 0,
+        intra_round: bool = False,
+    ):
+        if rounds < 1 or trials < 1:
+            raise ExperimentError("rounds and trials must be positive")
+        self.name = name
+        self.env_factory = env_factory
+        self.specs_factory = specs_factory
+        self.k = k
+        self.budget_per_round = budget_per_round
+        self.rounds = rounds
+        self.trials = trials
+        self.estimators = (
+            list(estimators) if estimators is not None else default_estimators()
+        )
+        self.base_seed = base_seed
+        self.intra_round = intra_round
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExperimentResult:
+        """Execute all trials and return the collected result."""
+        first_env = None
+        spec_names: list[str] = []
+        result: ExperimentResult | None = None
+        for trial in range(self.trials):
+            seed = self.base_seed + 1000 * trial
+            if self.intra_round:
+                trial_result = self._run_trial_intra(seed, trial, result)
+            else:
+                trial_result = self._run_trial_round(seed, trial, result)
+            result = trial_result
+        assert result is not None
+        return result
+
+    # ------------------------------------------------------------------
+    def _make_result(self, specs: Sequence[AnySpec]) -> ExperimentResult:
+        spec_names = [spec.name for spec in specs]
+        spec_names += [
+            base.name
+            for base in base_specs_of(specs)
+            if base.name not in spec_names
+        ]
+        return ExperimentResult(
+            self.name, [factory.name for factory in self.estimators], spec_names
+        )
+
+    def _run_trial_round(
+        self, seed: int, trial: int, result: ExperimentResult | None
+    ) -> ExperimentResult:
+        db, schedule = self.env_factory(seed)
+        specs = list(self.specs_factory(db.schema))
+        if result is None:
+            result = self._make_result(specs)
+        interface = TopKInterface(db, self.k)
+        tracker = GroundTruthTracker(db, specs)
+        estimators = {
+            factory.name: factory.build(
+                interface, specs, self.budget_per_round, seed + 17 + index
+            )
+            for index, factory in enumerate(self.estimators)
+        }
+        schedule_rng = random.Random(seed + 5)
+        result.start_trial()
+        for position in range(self.rounds):
+            if position > 0:
+                apply_round(db, schedule, schedule_rng)
+                db.advance_round()
+            round_index = db.current_round
+            result.record_truth(round_index, tracker.record_round(round_index))
+            for name, estimator in estimators.items():
+                report = estimator.run_round()
+                result.record_report(
+                    name,
+                    report.estimates,
+                    report.queries_used,
+                    report.drilldowns_updated + report.drilldowns_new,
+                )
+        return result
+
+    def _run_trial_intra(
+        self, seed: int, trial: int, result: ExperimentResult | None
+    ) -> ExperimentResult:
+        """Intra-round mode: independent environment per estimator."""
+        snapshots: dict[str, dict[int, dict[str, float]]] = {}
+        reports: dict[str, list] = {}
+        specs_for_result: Sequence[AnySpec] | None = None
+        round_ids: list[int] = []
+        for index, factory in enumerate(self.estimators):
+            db, schedule = self.env_factory(seed)
+            specs = list(self.specs_factory(db.schema))
+            specs_for_result = specs
+            interface = TopKInterface(db, self.k)
+            tracker = GroundTruthTracker(db, specs)
+            estimator = factory.build(
+                interface, specs, self.budget_per_round, seed + 17 + index
+            )
+            driver = IntraRoundDriver(
+                db, schedule, self.budget_per_round, random.Random(seed + 5)
+            )
+            estimator.on_query = driver.on_query
+            snapshots[factory.name] = {}
+            reports[factory.name] = []
+            round_ids = []
+            for position in range(self.rounds):
+                if position > 0:
+                    db.advance_round()
+                    driver.start_round()
+                report = estimator.run_round()
+                if position > 0:
+                    driver.finish_round()
+                round_index = db.current_round
+                round_ids.append(round_index)
+                snapshots[factory.name][round_index] = tracker.record_round(
+                    round_index
+                )
+                reports[factory.name].append(report)
+        assert specs_for_result is not None
+        if result is None:
+            result = self._make_result(specs_for_result)
+        result.start_trial()
+        # Truth differs per estimator in intra-round mode only through query
+        # interleaving; environments share seeds so the planned mutations are
+        # identical and the first estimator's truth serves as the reference.
+        reference = self.estimators[0].name
+        for round_index in round_ids:
+            result.record_truth(round_index, snapshots[reference][round_index])
+        for factory in self.estimators:
+            for report in reports[factory.name]:
+                result.record_report(
+                    factory.name,
+                    report.estimates,
+                    report.queries_used,
+                    report.drilldowns_updated + report.drilldowns_new,
+                )
+        return result

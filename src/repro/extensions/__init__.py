@@ -1,0 +1,5 @@
+"""Extensions beyond the paper's core: its §8 future-work directions."""
+
+from .counts import CountAssistedEstimator, CountRevealingInterface
+
+__all__ = ["CountAssistedEstimator", "CountRevealingInterface"]

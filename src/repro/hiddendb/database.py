@@ -1,0 +1,116 @@
+"""The dynamic hidden database (paper §2.1, round-update model).
+
+A :class:`HiddenDatabase` owns a :class:`~repro.hiddendb.store.TupleStore`,
+assigns ranking scores at insert time, tracks the current round index, and —
+for the convenience of update schedules — hands out fresh tids.
+
+The round-update model: mutations are applied, then :meth:`advance_round` is
+called, and the database is considered static for the duration of the round
+(estimators query it through :class:`~repro.hiddendb.interface.TopKInterface`).
+The constant-update model of §5.2 simply mutates the database *between
+queries* instead (see :class:`repro.data.schedules.IntraRoundDriver`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from .ranking import RandomScore, RankingPolicy
+from .schema import Schema
+from .store import TupleStore
+from .tuples import HiddenTuple
+
+
+class HiddenDatabase:
+    """A dynamic hidden web database with round semantics."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        ranking: RankingPolicy | None = None,
+        block_size: int = 1024,
+    ):
+        self.schema = schema
+        self.ranking = ranking if ranking is not None else RandomScore()
+        self.store = TupleStore(schema, block_size=block_size)
+        self._round = 1
+        self._next_tid = 0
+
+    # ------------------------------------------------------------------
+    # Round bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def current_round(self) -> int:
+        """1-based index of the current round ``Ri``."""
+        return self._round
+
+    def advance_round(self) -> int:
+        """Start the next round and return its index."""
+        self._round += 1
+        return self._round
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def allocate_tid(self) -> int:
+        """A fresh, never-used tuple id."""
+        tid = self._next_tid
+        self._next_tid += 1
+        return tid
+
+    def insert(
+        self,
+        values: bytes | Sequence[int],
+        measures: Sequence[float] = (),
+        tid: int | None = None,
+    ) -> HiddenTuple:
+        """Insert a new tuple; its ranking score is assigned by the policy."""
+        if tid is None:
+            tid = self.allocate_tid()
+        else:
+            self._next_tid = max(self._next_tid, tid + 1)
+        if not isinstance(values, bytes):
+            values = bytes(values)
+        t = HiddenTuple(tid, values, tuple(measures))
+        t.score = self.ranking.score(t, self.schema)
+        self.store.insert(t)
+        return t
+
+    def insert_tuple(self, t: HiddenTuple) -> HiddenTuple:
+        """Insert a pre-built tuple (keeps its score — used by pools)."""
+        self._next_tid = max(self._next_tid, t.tid + 1)
+        self.store.insert(t)
+        return t
+
+    def delete(self, tid: int) -> HiddenTuple:
+        """Delete a tuple by id and return it."""
+        return self.store.delete(tid)
+
+    def update_measures(self, tid: int, measures: Sequence[float]) -> HiddenTuple:
+        """Replace a tuple's measures (e.g. a price change on a listing)."""
+        updated = self.store.get(tid).with_measures(tuple(measures))
+        self.store.replace(updated)
+        return updated
+
+    def bulk_load(self, tuples: Iterable[HiddenTuple]) -> int:
+        """Insert many pre-built tuples; returns how many were loaded."""
+        count = 0
+        for t in tuples:
+            self.insert_tuple(t)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Introspection (simulator-side only; NOT visible to estimators)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def tuples(self) -> Iterator[HiddenTuple]:
+        return self.store.tuples()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"HiddenDatabase(n={len(self)}, m={self.schema.num_attributes}, "
+            f"round={self._round})"
+        )

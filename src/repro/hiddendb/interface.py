@@ -1,0 +1,140 @@
+"""The restrictive top-k search interface (paper §2.1).
+
+This is the *only* channel estimators may use to see the database.  A query
+returns at most ``k`` tuples chosen by the proprietary ranking; whether more
+matches exist is revealed only through the overflow flag (no counts).
+
+Query evaluation strategy:
+
+* If the query's predicate attributes are a prefix of some registered
+  attribute order, the matching set is a contiguous range in that order's
+  :class:`~repro.hiddendb.store.PrefixIndex` — count via two bisects, page
+  materialised lazily.
+* Otherwise (ad-hoc conjunctions) evaluation falls back to a full scan.
+  The scan path doubles as the correctness oracle in property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .database import HiddenDatabase
+from .query import ConjunctiveQuery
+from .result import QueryResult, QueryStatus, top_k_by_score
+from .tuples import HiddenTuple
+
+
+class InterfaceStats:
+    """Simulator-side counters (a real site would keep these server-side)."""
+
+    __slots__ = ("queries", "underflow", "valid", "overflow")
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.underflow = 0
+        self.valid = 0
+        self.overflow = 0
+
+    def record(self, status: QueryStatus) -> None:
+        self.queries += 1
+        if status is QueryStatus.UNDERFLOW:
+            self.underflow += 1
+        elif status is QueryStatus.VALID:
+            self.valid += 1
+        else:
+            self.overflow += 1
+
+
+class TopKInterface:
+    """Search endpoint of a hidden database with page size ``k``."""
+
+    def __init__(self, db: HiddenDatabase, k: int):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.db = db
+        self.k = k
+        self.stats = InterfaceStats()
+
+    @property
+    def schema(self):
+        return self.db.schema
+
+    @property
+    def current_round(self) -> int:
+        """Round index, as a client could infer from wall-clock time."""
+        return self.db.current_round
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def search(self, query: ConjunctiveQuery) -> QueryResult:
+        """Execute one conjunctive search query."""
+        query.validate(self.db.schema)
+        result = self._evaluate(query)
+        self.stats.record(result.status)
+        return result
+
+    def _evaluate(self, query: ConjunctiveQuery) -> QueryResult:
+        prefix = self._match_prefix_order(query)
+        if prefix is not None:
+            attr_order, prefix_values = prefix
+            return self._evaluate_prefix(attr_order, prefix_values)
+        return self._evaluate_scan(query)
+
+    def register_attr_order(self, attr_order: Sequence[int]) -> None:
+        """Pre-register an attribute order so its queries use the index."""
+        self.db.store.ensure_index(attr_order)
+
+    def _match_prefix_order(
+        self, query: ConjunctiveQuery
+    ) -> tuple[tuple[int, ...], list[int]] | None:
+        """Find a registered order whose prefix covers the query's attributes."""
+        if not query.predicates:
+            # Root query: any registered index (or none yet) works.
+            for attr_order in self.db.store._indexes:
+                return attr_order, []
+            return None
+        wanted = {a: v for a, v in query.predicates}
+        for attr_order in self.db.store._indexes:
+            head = attr_order[: len(wanted)]
+            if set(head) == set(wanted):
+                return attr_order, [wanted[a] for a in head]
+        return None
+
+    def _evaluate_prefix(
+        self, attr_order: Sequence[int], prefix_values: list[int]
+    ) -> QueryResult:
+        index = self.db.store.ensure_index(attr_order)
+        matching = index.count_prefix(prefix_values)
+        if matching == 0:
+            return QueryResult(QueryStatus.UNDERFLOW, self.k, tuples=())
+        store = self.db.store
+        if matching <= self.k:
+            page = top_k_by_score(
+                (store.get(tid) for tid in index.iter_tids(prefix_values)),
+                self.k,
+            )
+            return QueryResult(QueryStatus.VALID, self.k, tuples=page)
+
+        def load_page() -> list[HiddenTuple]:
+            return top_k_by_score(
+                (store.get(tid) for tid in index.iter_tids(prefix_values)),
+                self.k,
+            )
+
+        return QueryResult(QueryStatus.OVERFLOW, self.k, loader=load_page)
+
+    def _evaluate_scan(self, query: ConjunctiveQuery) -> QueryResult:
+        """Reference full-scan evaluation for arbitrary conjunctions."""
+        matches = [t for t in self.db.tuples() if query.matches(t)]
+        if not matches:
+            return QueryResult(QueryStatus.UNDERFLOW, self.k, tuples=())
+        if len(matches) <= self.k:
+            return QueryResult(
+                QueryStatus.VALID, self.k, tuples=top_k_by_score(matches, self.k)
+            )
+        return QueryResult(
+            QueryStatus.OVERFLOW,
+            self.k,
+            loader=lambda: top_k_by_score(matches, self.k),
+        )

@@ -1,0 +1,107 @@
+"""Conjunctive search queries — the only thing the web interface accepts.
+
+A query is a conjunction of equality predicates ``Ai = u`` (paper §2.1):
+
+    SELECT * FROM D WHERE Ai1 = u1 AND ... AND Ais = us
+
+Queries are immutable and hashable so they can serve as cache keys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..errors import QueryError
+from .schema import Schema
+from .tuples import HiddenTuple
+
+
+class ConjunctiveQuery:
+    """An immutable conjunction of ``attribute = value`` predicates.
+
+    Predicates are stored as ``(attr_index, value_index)`` pairs sorted by
+    attribute index; the empty conjunction is the root query
+    ``SELECT * FROM D``.
+    """
+
+    __slots__ = ("predicates", "_hash")
+
+    def __init__(self, predicates: Iterable[tuple[int, int]] = ()):
+        predicate_list = sorted(predicates)
+        seen_attrs = set()
+        for attr_index, _value in predicate_list:
+            if attr_index in seen_attrs:
+                raise QueryError(
+                    f"duplicate predicate on attribute index {attr_index}"
+                )
+            seen_attrs.add(attr_index)
+        self.predicates = tuple(predicate_list)
+        self._hash = hash(self.predicates)
+
+    @classmethod
+    def root(cls) -> "ConjunctiveQuery":
+        """The unrestricted query ``SELECT * FROM D``."""
+        return cls()
+
+    @classmethod
+    def from_labels(
+        cls, schema: Schema, predicates: Mapping[str, str]
+    ) -> "ConjunctiveQuery":
+        """Build a query from ``{attribute name: value label}``."""
+        pairs = []
+        for name, label in predicates.items():
+            attr_index = schema.attribute_index(name)
+            value_index = schema.attributes[attr_index].index_of(label)
+            pairs.append((attr_index, value_index))
+        return cls(pairs)
+
+    @property
+    def num_predicates(self) -> int:
+        """Number of conjunctive predicates (0 for the root)."""
+        return len(self.predicates)
+
+    def matches(self, t: HiddenTuple) -> bool:
+        """True if the tuple satisfies every predicate."""
+        values = t.values
+        for attr_index, value_index in self.predicates:
+            if values[attr_index] != value_index:
+                return False
+        return True
+
+    def extended(self, attr_index: int, value_index: int) -> "ConjunctiveQuery":
+        """A new query with one extra predicate appended."""
+        return ConjunctiveQuery(self.predicates + ((attr_index, value_index),))
+
+    def validate(self, schema: Schema) -> None:
+        """Raise :class:`QueryError` if any predicate is out of range."""
+        for attr_index, value_index in self.predicates:
+            if attr_index >= schema.num_attributes:
+                raise QueryError(f"attribute index {attr_index} out of range")
+            if value_index >= schema.attributes[attr_index].size:
+                raise QueryError(
+                    f"value index {value_index} out of range for attribute "
+                    f"{schema.attributes[attr_index].name!r}"
+                )
+
+    def describe(self, schema: Schema) -> str:
+        """SQL-ish rendering, for logs and error messages."""
+        if not self.predicates:
+            return "SELECT * FROM D"
+        clauses = " AND ".join(
+            f"{schema.attributes[a].name} = "
+            f"{schema.attributes[a].values[v]!r}"
+            for a, v in self.predicates
+        )
+        return f"SELECT * FROM D WHERE {clauses}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConjunctiveQuery)
+            and self.predicates == other.predicates
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ConjunctiveQuery({self.predicates})"

@@ -1,0 +1,55 @@
+"""Proprietary scoring functions for the top-k interface.
+
+The paper treats the ranking function as an opaque, database-controlled
+choice (§2.1).  The simulator supports pluggable policies; the estimators
+never inspect scores, so the policy only matters for which k tuples a valid
+query's caller *sees* — exactly as on a real site.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from .schema import Schema
+from .tuples import HiddenTuple
+
+
+class RankingPolicy(Protocol):
+    """Assigns the static ranking score of a tuple at insert time."""
+
+    def score(self, t: HiddenTuple, schema: Schema) -> float:
+        """Higher scores rank earlier in search results."""
+        ...
+
+
+class RandomScore:
+    """I.i.d. random scores — an arbitrary, stable, opaque ranking."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def score(self, t: HiddenTuple, schema: Schema) -> float:
+        return self._rng.random()
+
+
+class MeasureScore:
+    """Rank by a measure (e.g. price-ascending like a shopping site)."""
+
+    def __init__(self, measure: str, descending: bool = True):
+        self.measure = measure
+        self.descending = descending
+        self._measure_index: int | None = None
+
+    def score(self, t: HiddenTuple, schema: Schema) -> float:
+        if self._measure_index is None:
+            self._measure_index = schema.measure_index(self.measure)
+        value = t.measure(self._measure_index)
+        return value if self.descending else -value
+
+
+class RecencyScore:
+    """Rank newest-first (higher tid = inserted later = ranked earlier)."""
+
+    def score(self, t: HiddenTuple, schema: Schema) -> float:
+        return float(t.tid)

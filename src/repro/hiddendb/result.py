@@ -1,0 +1,88 @@
+"""Search results returned by the top-k interface.
+
+A query either *underflows* (no match), is *valid* (1..k matches, all
+returned), or *overflows* (more than k matches; only the top-k by the
+proprietary score are returned, and the true count is NOT revealed).
+
+Ranking an overflowing node would require scoring its entire (possibly
+database-sized) answer set.  Estimators never read the tuples of an
+overflowing result — only the flag — so materialisation is lazy: semantics
+are identical to an eager interface, but the simulator only pays for ranking
+when some consumer actually looks at the returned page.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from typing import Callable, Iterable, Sequence
+
+from .tuples import HiddenTuple
+
+
+class QueryStatus(enum.Enum):
+    """Outcome class of a search query (paper §2.1)."""
+
+    UNDERFLOW = "underflow"
+    VALID = "valid"
+    OVERFLOW = "overflow"
+
+
+class QueryResult:
+    """Result page of one search query.
+
+    Attributes
+    ----------
+    status:
+        Underflow / valid / overflow classification.
+    k:
+        The interface's page size.
+    """
+
+    __slots__ = ("status", "k", "_tuples", "_loader")
+
+    def __init__(
+        self,
+        status: QueryStatus,
+        k: int,
+        tuples: Sequence[HiddenTuple] | None = None,
+        loader: Callable[[], Sequence[HiddenTuple]] | None = None,
+    ):
+        self.status = status
+        self.k = k
+        self._tuples = tuple(tuples) if tuples is not None else None
+        self._loader = loader
+
+    @property
+    def overflow(self) -> bool:
+        return self.status is QueryStatus.OVERFLOW
+
+    @property
+    def underflow(self) -> bool:
+        return self.status is QueryStatus.UNDERFLOW
+
+    @property
+    def valid(self) -> bool:
+        return self.status is QueryStatus.VALID
+
+    @property
+    def tuples(self) -> tuple[HiddenTuple, ...]:
+        """The returned page: all matches if valid, top-k if overflowing."""
+        if self._tuples is None:
+            loaded = self._loader() if self._loader is not None else ()
+            self._tuples = tuple(loaded)
+            self._loader = None
+        return self._tuples
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"QueryResult({self.status.value}, k={self.k})"
+
+
+def top_k_by_score(
+    candidates: Iterable[HiddenTuple], k: int
+) -> list[HiddenTuple]:
+    """Top-k tuples by (score desc, tid asc) — the interface's page order."""
+    return heapq.nsmallest(k, candidates, key=lambda t: (-t.score, t.tid))

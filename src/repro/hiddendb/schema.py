@@ -1,0 +1,164 @@
+"""Schema of a hidden web database.
+
+The paper's model (§2.1): a database has ``m`` categorical attributes
+``A1..Am`` with finite domains ``U1..Um``.  Search queries are conjunctions of
+``Ai = u`` predicates.  Numerical attributes that are *not* searchable (price,
+mileage, ...) are modelled separately as *measures*: real-valued columns that
+aggregates may reference but the search interface cannot filter on.
+
+Values are stored as small integer indices into the attribute's domain; a
+whole tuple's categorical part is a ``bytes`` object of length ``m`` (domain
+sizes are capped at 255), which keeps multi-million-tuple databases affordable
+in pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import SchemaError
+
+#: Largest supported domain size (values are stored in one byte each).
+MAX_DOMAIN_SIZE = 255
+
+
+class Attribute:
+    """A searchable categorical attribute with a finite value domain."""
+
+    __slots__ = ("name", "values", "_value_index")
+
+    def __init__(self, name: str, values: Sequence[str] | int):
+        if isinstance(values, int):
+            if values < 1:
+                raise SchemaError(f"attribute {name!r} needs a positive domain size")
+            values = tuple(f"{name}_{i}" for i in range(values))
+        else:
+            values = tuple(values)
+        if not values:
+            raise SchemaError(f"attribute {name!r} has an empty domain")
+        if len(values) > MAX_DOMAIN_SIZE:
+            raise SchemaError(
+                f"attribute {name!r} domain size {len(values)} exceeds "
+                f"{MAX_DOMAIN_SIZE}"
+            )
+        if len(set(values)) != len(values):
+            raise SchemaError(f"attribute {name!r} has duplicate domain values")
+        self.name = name
+        self.values = values
+        self._value_index = {v: i for i, v in enumerate(values)}
+
+    @property
+    def size(self) -> int:
+        """Domain size |Ui|."""
+        return len(self.values)
+
+    def index_of(self, value: str) -> int:
+        """Translate a domain label to its stored integer index."""
+        try:
+            return self._value_index[value]
+        except KeyError:
+            raise QueryValueError(self.name, value) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Attribute({self.name!r}, size={self.size})"
+
+
+def QueryValueError(attr_name: str, value: str) -> SchemaError:
+    """Build a consistent error for an unknown domain label."""
+    return SchemaError(f"value {value!r} is not in the domain of {attr_name!r}")
+
+
+class Schema:
+    """Attribute and measure layout of a hidden database.
+
+    Parameters
+    ----------
+    attributes:
+        Searchable categorical attributes, in interface order (the paper's
+        ``A1..Am``).
+    measures:
+        Names of non-searchable numeric columns carried by every tuple
+        (e.g. ``("price",)``).  Aggregates reference measures by name.
+    """
+
+    __slots__ = ("attributes", "measures", "_attr_index", "_measure_index")
+
+    def __init__(
+        self,
+        attributes: Iterable[Attribute],
+        measures: Sequence[str] = (),
+    ):
+        self.attributes = tuple(attributes)
+        if not self.attributes:
+            raise SchemaError("a schema needs at least one attribute")
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate attribute names in schema")
+        self.measures = tuple(measures)
+        if len(set(self.measures)) != len(self.measures):
+            raise SchemaError("duplicate measure names in schema")
+        self._attr_index = {a.name: i for i, a in enumerate(self.attributes)}
+        self._measure_index = {m: i for i, m in enumerate(self.measures)}
+
+    @property
+    def num_attributes(self) -> int:
+        """Number of searchable attributes (the paper's ``m``)."""
+        return len(self.attributes)
+
+    @property
+    def domain_sizes(self) -> tuple[int, ...]:
+        """Domain size of every attribute, in schema order."""
+        return tuple(a.size for a in self.attributes)
+
+    def attribute_index(self, name: str) -> int:
+        """Position of the named attribute in the schema."""
+        try:
+            return self._attr_index[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}") from None
+
+    def measure_index(self, name: str) -> int:
+        """Position of the named measure in every tuple's measure vector."""
+        try:
+            return self._measure_index[name]
+        except KeyError:
+            raise SchemaError(f"unknown measure {name!r}") from None
+
+    def leaf_space_size(self) -> int:
+        """Number of leaves of the full query tree, ``prod |Ui|``."""
+        product = 1
+        for attribute in self.attributes:
+            product *= attribute.size
+        return product
+
+    def validate_values(self, values: bytes) -> None:
+        """Raise :class:`SchemaError` if ``values`` is not a valid vector."""
+        if len(values) != self.num_attributes:
+            raise SchemaError(
+                f"value vector has {len(values)} entries, schema has "
+                f"{self.num_attributes} attributes"
+            )
+        for position, value in enumerate(values):
+            if value >= self.attributes[position].size:
+                raise SchemaError(
+                    f"value index {value} out of range for attribute "
+                    f"{self.attributes[position].name!r}"
+                )
+
+    def labels_for(self, values: bytes) -> tuple[str, ...]:
+        """Human-readable labels for a stored value vector."""
+        return tuple(
+            self.attributes[i].values[v] for i, v in enumerate(values)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Schema(m={self.num_attributes}, "
+            f"domains={self.domain_sizes}, measures={self.measures})"
+        )
+
+
+def boolean_schema(num_attributes: int, measures: Sequence[str] = ()) -> Schema:
+    """Convenience: a schema of ``num_attributes`` Boolean attributes."""
+    attrs = [Attribute(f"A{i}", ("0", "1")) for i in range(num_attributes)]
+    return Schema(attrs, measures=measures)

@@ -1,0 +1,87 @@
+"""Per-round query sessions with hard budget enforcement.
+
+Real hidden databases limit queries per IP / API key per day (the paper's
+``G``).  A :class:`QuerySession` wraps an interface with a budget counter
+that raises :class:`~repro.errors.QueryBudgetExhausted` once spent — charged
+queries stay charged, exactly like a metered web API.
+
+The optional within-round answer cache models a client that remembers
+answers it already received this round (issuing the same URL twice costs a
+second request on a real site, which is the paper's accounting — hence the
+cache defaults to off; turning it on is the "client cache" ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import QueryBudgetExhausted
+from .interface import TopKInterface
+from .query import ConjunctiveQuery
+from .result import QueryResult
+
+
+class QuerySession:
+    """A budgeted client connection to a hidden database interface."""
+
+    def __init__(
+        self,
+        interface: TopKInterface,
+        budget: int | None = None,
+        cache_within_round: bool = False,
+        on_query: Callable[[], None] | None = None,
+    ):
+        self.interface = interface
+        self.budget = budget
+        self.cache_within_round = cache_within_round
+        self.queries_used = 0
+        self._cache: dict[ConjunctiveQuery, QueryResult] = {}
+        # Hook invoked after every charged query; used by the intra-round
+        # update driver to interleave database mutations with query traffic.
+        self._on_query = on_query
+
+    @property
+    def k(self) -> int:
+        return self.interface.k
+
+    @property
+    def remaining(self) -> int | None:
+        """Queries left in the budget (None = unlimited)."""
+        if self.budget is None:
+            return None
+        return self.budget - self.queries_used
+
+    def can_afford(self, queries: int = 1) -> bool:
+        """True if at least ``queries`` more requests fit in the budget."""
+        return self.budget is None or self.queries_used + queries <= self.budget
+
+    def search(self, query: ConjunctiveQuery) -> QueryResult:
+        """Issue one search query, charging the budget.
+
+        Raises
+        ------
+        QueryBudgetExhausted
+            If the budget is already spent.  The offending query is *not*
+            executed (the client knows its own budget and does not fire a
+            request it cannot pay for).
+        """
+        if self.cache_within_round:
+            cached = self._cache.get(query)
+            if cached is not None:
+                return cached
+        if not self.can_afford():
+            raise QueryBudgetExhausted(self.budget or 0)
+        self.queries_used += 1
+        result = self.interface.search(query)
+        if self.cache_within_round:
+            self._cache[query] = result
+        if self._on_query is not None:
+            self._on_query()
+        return result
+
+    def reset_round(self, budget: int | None = None) -> None:
+        """Start a new round: clear the cache, restart the budget counter."""
+        if budget is not None:
+            self.budget = budget
+        self.queries_used = 0
+        self._cache.clear()

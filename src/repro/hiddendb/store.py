@@ -1,0 +1,342 @@
+"""Storage engine for the hidden database simulator.
+
+The drill-down estimators issue only *prefix conjunctions*: with attributes
+ordered ``Ao1, Ao2, ...`` a query-tree node at depth ``d`` fixes the first
+``d`` attributes of that order.  If every tuple's key is its value vector
+written in mixed radix (most significant digit = first attribute of the
+order, least significant digits = the tuple id for uniqueness), a node is a
+*contiguous key range* and "does this node overflow?" becomes two positional
+bisects.
+
+Components:
+
+* :class:`SortedKeyList` — a blocked sorted list of integers (the same idea
+  as ``sortedcontainers.SortedList``, reimplemented because this environment
+  is offline): O(sqrt n) insert/delete, O(log n + #blocks) positional rank.
+* :class:`PrefixIndex` — mixed-radix key codec plus a ``SortedKeyList`` for
+  one attribute order.
+* :class:`TupleStore` — the tuple heap plus any number of prefix indexes,
+  with a mutation-event stream for ground-truth observers.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..errors import SchemaError
+from .schema import Schema
+from .tuples import HiddenTuple
+
+#: Target number of keys per block; blocks split at twice this size.
+DEFAULT_BLOCK_SIZE = 1024
+
+
+class SortedKeyList:
+    """A sorted multiset of integers stored in balanced blocks.
+
+    Supports the three operations the prefix index needs:
+
+    * :meth:`add` / :meth:`remove` in O(sqrt n),
+    * :meth:`rank` (count of keys strictly below a value) in
+      O(log n + #blocks),
+    * :meth:`iter_range` over a half-open key interval.
+    """
+
+    __slots__ = ("_blocks", "_maxes", "_size", "_block_size")
+
+    def __init__(
+        self,
+        keys: Iterable[int] = (),
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ):
+        self._block_size = block_size
+        self._blocks: list[list[int]] = []
+        self._maxes: list[int] = []
+        self._size = 0
+        initial = sorted(keys)
+        if initial:
+            for start in range(0, len(initial), block_size):
+                block = initial[start : start + block_size]
+                self._blocks.append(block)
+                self._maxes.append(block[-1])
+            self._size = len(initial)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _locate_block(self, key: int) -> int:
+        """Index of the first block whose max is >= key (len for none)."""
+        return bisect_left(self._maxes, key)
+
+    def add(self, key: int) -> None:
+        """Insert ``key`` keeping order; duplicates are allowed."""
+        if not self._blocks:
+            self._blocks.append([key])
+            self._maxes.append(key)
+            self._size = 1
+            return
+        block_index = self._locate_block(key)
+        if block_index == len(self._blocks):
+            block_index -= 1
+        block = self._blocks[block_index]
+        insort(block, key)
+        self._maxes[block_index] = block[-1]
+        self._size += 1
+        if len(block) > 2 * self._block_size:
+            self._split_block(block_index)
+
+    def _split_block(self, block_index: int) -> None:
+        block = self._blocks[block_index]
+        half = len(block) // 2
+        right = block[half:]
+        del block[half:]
+        self._blocks.insert(block_index + 1, right)
+        self._maxes[block_index] = block[-1]
+        self._maxes.insert(block_index + 1, right[-1])
+
+    def remove(self, key: int) -> None:
+        """Remove one occurrence of ``key``; raise ``ValueError`` if absent."""
+        block_index = self._locate_block(key)
+        if block_index == len(self._blocks):
+            raise ValueError(f"key {key} not in SortedKeyList")
+        block = self._blocks[block_index]
+        position = bisect_left(block, key)
+        if position == len(block) or block[position] != key:
+            raise ValueError(f"key {key} not in SortedKeyList")
+        del block[position]
+        self._size -= 1
+        if block:
+            self._maxes[block_index] = block[-1]
+        else:
+            del self._blocks[block_index]
+            del self._maxes[block_index]
+
+    def __contains__(self, key: int) -> bool:
+        block_index = self._locate_block(key)
+        if block_index == len(self._blocks):
+            return False
+        block = self._blocks[block_index]
+        position = bisect_left(block, key)
+        return position < len(block) and block[position] == key
+
+    def rank(self, key: int) -> int:
+        """Number of stored keys strictly smaller than ``key``."""
+        block_index = self._locate_block(key)
+        if block_index == len(self._blocks):
+            return self._size
+        preceding = 0
+        for i in range(block_index):
+            preceding += len(self._blocks[i])
+        return preceding + bisect_left(self._blocks[block_index], key)
+
+    def count_range(self, lo: int, hi: int) -> int:
+        """Number of keys in the half-open interval ``[lo, hi)``."""
+        if hi <= lo:
+            return 0
+        return self.rank(hi) - self.rank(lo)
+
+    def iter_range(self, lo: int, hi: int) -> Iterator[int]:
+        """Yield keys in ``[lo, hi)`` in ascending order."""
+        if hi <= lo:
+            return
+        block_index = self._locate_block(lo)
+        while block_index < len(self._blocks):
+            block = self._blocks[block_index]
+            start = bisect_left(block, lo) if block[0] < lo else 0
+            for position in range(start, len(block)):
+                key = block[position]
+                if key >= hi:
+                    return
+                yield key
+            block_index += 1
+
+    def __iter__(self) -> Iterator[int]:
+        for block in self._blocks:
+            yield from block
+
+    def check_invariants(self) -> None:
+        """Validate internal structure (used by property tests)."""
+        total = 0
+        previous_max = None
+        for block, block_max in zip(self._blocks, self._maxes):
+            assert block, "empty block retained"
+            assert block == sorted(block), "unsorted block"
+            assert block[-1] == block_max, "stale block max"
+            if previous_max is not None:
+                assert block[0] >= previous_max, "blocks out of order"
+            previous_max = block_max
+            total += len(block)
+        assert total == self._size, "size counter out of sync"
+
+
+class PrefixIndex:
+    """Mixed-radix key index over one attribute order.
+
+    The key of a tuple is::
+
+        ((v[o1] * |U_o2| + v[o2]) * |U_o3| + ...) * TID_SPAN + tid
+
+    so a depth-``d`` prefix (values for the first ``d`` attributes of the
+    order) owns the contiguous range ``[code_d * span_d, (code_d+1) * span_d)``
+    where ``span_d`` is the product of the remaining radices times
+    ``TID_SPAN``.  Python's arbitrary-precision integers make this exact for
+    any number of attributes.
+    """
+
+    __slots__ = ("attr_order", "_radices", "_spans", "_tid_span", "_keys")
+
+    def __init__(
+        self,
+        schema: Schema,
+        attr_order: Sequence[int],
+        tid_span: int = 2**48,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ):
+        order = tuple(attr_order)
+        if sorted(order) != list(range(schema.num_attributes)):
+            raise SchemaError(
+                "attr_order must be a permutation of all attribute indexes"
+            )
+        self.attr_order = order
+        self._radices = tuple(schema.attributes[a].size for a in order)
+        self._tid_span = tid_span
+        # _spans[d] = width of a depth-d prefix's key range.
+        spans = [tid_span]
+        for radix in reversed(self._radices):
+            spans.append(spans[-1] * radix)
+        spans.reverse()  # spans[d] for d in 0..m
+        self._spans = tuple(spans)
+        self._keys = SortedKeyList(block_size=block_size)
+
+    @property
+    def depth(self) -> int:
+        """Maximum prefix depth (number of attributes)."""
+        return len(self.attr_order)
+
+    def encode(self, t: HiddenTuple) -> int:
+        """Full key of a tuple (value digits + tid)."""
+        code = 0
+        values = t.values
+        for attr_index, radix in zip(self.attr_order, self._radices):
+            code = code * radix + values[attr_index]
+        return code * self._tid_span + t.tid
+
+    def prefix_range(self, prefix_values: Sequence[int]) -> tuple[int, int]:
+        """Half-open key interval of the node fixing ``prefix_values``.
+
+        ``prefix_values`` are value indices for the first ``len(prefix)``
+        attributes of this index's order.
+        """
+        depth = len(prefix_values)
+        code = 0
+        for position in range(depth):
+            code = code * self._radices[position] + prefix_values[position]
+        span = self._spans[depth]
+        lo = code * span
+        return lo, lo + span
+
+    def add(self, t: HiddenTuple) -> None:
+        self._keys.add(self.encode(t))
+
+    def remove(self, t: HiddenTuple) -> None:
+        self._keys.remove(self.encode(t))
+
+    def count_prefix(self, prefix_values: Sequence[int]) -> int:
+        """Number of stored tuples matching the prefix."""
+        lo, hi = self.prefix_range(prefix_values)
+        return self._keys.count_range(lo, hi)
+
+    def iter_tids(self, prefix_values: Sequence[int]) -> Iterator[int]:
+        """Yield tids of tuples matching the prefix (key order)."""
+        lo, hi = self.prefix_range(prefix_values)
+        tid_span = self._tid_span
+        for key in self._keys.iter_range(lo, hi):
+            yield key % tid_span
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+class TupleStore:
+    """Tuple heap plus registered prefix indexes and a mutation stream.
+
+    Listeners registered via :meth:`subscribe` receive
+    ``("insert", tuple)`` / ``("delete", tuple)`` events, which is how the
+    experiment harness maintains exact ground truth in O(1) per mutation.
+    """
+
+    def __init__(self, schema: Schema, block_size: int = DEFAULT_BLOCK_SIZE):
+        self.schema = schema
+        self._block_size = block_size
+        self._tuples: dict[int, HiddenTuple] = {}
+        self._indexes: dict[tuple[int, ...], PrefixIndex] = {}
+        self._listeners: list[Callable[[str, HiddenTuple], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._tuples
+
+    def get(self, tid: int) -> HiddenTuple:
+        return self._tuples[tid]
+
+    def tuples(self) -> Iterator[HiddenTuple]:
+        """Iterate over all stored tuples (no particular order)."""
+        return iter(self._tuples.values())
+
+    def subscribe(self, listener: Callable[[str, HiddenTuple], None]) -> None:
+        """Register a mutation listener (``event in {"insert", "delete"}``)."""
+        self._listeners.append(listener)
+
+    def ensure_index(self, attr_order: Sequence[int]) -> PrefixIndex:
+        """Get (or build, backfilling existing tuples) the index for an order."""
+        key = tuple(attr_order)
+        index = self._indexes.get(key)
+        if index is None:
+            index = PrefixIndex(self.schema, key, block_size=self._block_size)
+            for t in self._tuples.values():
+                index.add(t)
+            self._indexes[key] = index
+        return index
+
+    def insert(self, t: HiddenTuple) -> None:
+        """Insert a tuple; tids must be unique for the store's lifetime."""
+        if t.tid in self._tuples:
+            raise SchemaError(f"duplicate tid {t.tid}")
+        self._tuples[t.tid] = t
+        for index in self._indexes.values():
+            index.add(t)
+        for listener in self._listeners:
+            listener("insert", t)
+
+    def delete(self, tid: int) -> HiddenTuple:
+        """Delete by tid and return the removed tuple."""
+        t = self._tuples.pop(tid)
+        for index in self._indexes.values():
+            index.remove(t)
+        for listener in self._listeners:
+            listener("delete", t)
+        return t
+
+    def replace(self, t: HiddenTuple) -> None:
+        """Swap the stored tuple with the same tid (measure updates)."""
+        old = self._tuples[t.tid]
+        if old.values != t.values:
+            # Categorical change moves the tuple in every index; model it
+            # as delete + insert so indexes and listeners stay consistent.
+            self.delete(old.tid)
+            self.insert(t)
+            return
+        self._tuples[t.tid] = t
+        for listener in self._listeners:
+            listener("delete", old)
+            listener("insert", t)
+
+    def random_tids(self, rng, count: int) -> list[int]:
+        """Sample ``count`` distinct tids uniformly (for deletion schedules)."""
+        population = list(self._tuples.keys())
+        if count >= len(population):
+            return population
+        return rng.sample(population, count)

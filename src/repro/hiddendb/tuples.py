@@ -1,0 +1,82 @@
+"""Tuple representation for the hidden database simulator.
+
+Tuples are immutable once inserted (an *update* is modelled, as on real
+websites, by the owner deleting and re-listing — or by
+:meth:`repro.hiddendb.database.HiddenDatabase.update_measures`, which swaps
+the tuple object).  The categorical part is a compact ``bytes`` vector of
+domain-value indices; measures are a parallel ``tuple`` of floats whose layout
+is given by :attr:`repro.hiddendb.schema.Schema.measures`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .schema import Schema
+
+
+class HiddenTuple:
+    """One row of the hidden database.
+
+    Attributes
+    ----------
+    tid:
+        Unique, never-reused tuple identifier.
+    values:
+        Categorical value indices, one byte per schema attribute.
+    measures:
+        Numeric measure values, aligned with ``schema.measures``.
+    score:
+        The proprietary ranking score used by the top-k interface.  Higher
+        scores rank earlier.  Assigned by the database's ranking policy at
+        insert time; opaque to estimators.
+    """
+
+    __slots__ = ("tid", "values", "measures", "score")
+
+    def __init__(
+        self,
+        tid: int,
+        values: bytes,
+        measures: tuple[float, ...] = (),
+        score: float = 0.0,
+    ):
+        self.tid = tid
+        self.values = values
+        self.measures = measures
+        self.score = score
+
+    def value(self, attr_index: int) -> int:
+        """Stored value index of the given attribute."""
+        return self.values[attr_index]
+
+    def measure(self, measure_index: int) -> float:
+        """Measure value by position (see ``Schema.measure_index``)."""
+        return self.measures[measure_index]
+
+    def with_measures(self, measures: tuple[float, ...]) -> "HiddenTuple":
+        """A copy of this tuple with replaced measures (same tid/score)."""
+        return HiddenTuple(self.tid, self.values, measures, self.score)
+
+    def describe(self, schema: Schema) -> dict[str, object]:
+        """Human-readable mapping of this tuple's attributes and measures."""
+        description: dict[str, object] = {
+            attribute.name: attribute.values[self.values[i]]
+            for i, attribute in enumerate(schema.attributes)
+        }
+        for i, name in enumerate(schema.measures):
+            description[name] = self.measures[i]
+        return description
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"HiddenTuple(tid={self.tid}, values={tuple(self.values)})"
+
+
+def make_tuple(
+    tid: int,
+    values: Sequence[int],
+    measures: Sequence[float] = (),
+    score: float = 0.0,
+) -> HiddenTuple:
+    """Build a :class:`HiddenTuple` from any integer sequence of values."""
+    return HiddenTuple(tid, bytes(values), tuple(measures), score)

@@ -1,0 +1,7 @@
+"""Marketplace surrogates for the paper's live Amazon/eBay experiments."""
+
+from .amazon import amazon_watch_env
+from .catalog import watch_schema
+from .ebay import ebay_watch_env
+
+__all__ = ["amazon_watch_env", "ebay_watch_env", "watch_schema"]

@@ -1,0 +1,111 @@
+"""Amazon-like marketplace simulator (the paper's Figure 20 experiment).
+
+The live experiment monitored all watches on Amazon during Thanksgiving
+week 2013 (k=100, 1,000 queries/day) and observed a ~$50 average-price
+drop on Thanksgiving/Black Friday while composition aggregates (the share
+of men's watches, the share of wrist watches) stayed flat.
+
+The simulator reproduces that generating mechanism: a stable catalog with
+mild listing churn, and a promotion window during which a configurable
+fraction of sellers discount their price (restored afterwards).  Because
+we own the database, the harness can also score the estimates against
+exact ground truth — something the paper could not do for this figure.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..data.schedules import (
+    CompositeSchedule,
+    FreshTupleSchedule,
+    MeasureDriftSchedule,
+    UpdateSchedule,
+)
+from ..data.synthetic import SyntheticSource, zipf_weights
+from ..hiddendb.database import HiddenDatabase
+from ..hiddendb.tuples import HiddenTuple
+from .catalog import sample_price, watch_schema
+
+#: Rounds are days; these are Thanksgiving (Nov 28) and Black Friday
+#: (Nov 29) within the simulated Nov-27..Dec-3 week (round 1 = Nov 27).
+DEFAULT_PROMO_ROUNDS = (2, 3)
+DEFAULT_PROMO_DISCOUNT = 0.78
+DEFAULT_PROMO_FRACTION = 0.55
+
+
+def _watch_source(seed: int) -> SyntheticSource:
+    schema = watch_schema(include_listing_format=False)
+    weights = [zipf_weights(a.size, 0.6) for a in schema.attributes]
+
+    def sampler(rng: random.Random) -> tuple[float, float]:
+        price = sample_price(rng)
+        return price, price  # price and its pre-promotion base
+
+    return SyntheticSource(schema, weights, measure_sampler=sampler, seed=seed)
+
+
+class _PromotionSchedule:
+    """Applies/reverts Black-Friday discounts on promotion-day boundaries."""
+
+    def __init__(
+        self,
+        promo_rounds: tuple[int, ...],
+        discount: float,
+        fraction: float,
+    ):
+        self.promo_rounds = frozenset(promo_rounds)
+        self.discount = discount
+        self._drift = MeasureDriftSchedule(fraction, self._reprice)
+        self._restore = MeasureDriftSchedule(1.0, self._restore_price)
+        self._promo_active = False
+
+    def _reprice(
+        self, t: HiddenTuple, rng: random.Random, round_index: int
+    ) -> tuple[float, float]:
+        base = t.measures[1]
+        return round(base * self.discount, 2), base
+
+    def _restore_price(
+        self, t: HiddenTuple, rng: random.Random, round_index: int
+    ) -> tuple[float, float]:
+        base = t.measures[1]
+        return base, base
+
+    def plan(self, db: HiddenDatabase, rng: random.Random):
+        upcoming = db.current_round + 1
+        if upcoming in self.promo_rounds:
+            if not self._promo_active:
+                self._promo_active = True
+                return self._drift.plan(db, rng)
+            return []  # promotion continues; prices already discounted
+        if self._promo_active:
+            self._promo_active = False
+            return self._restore.plan(db, rng)
+        return []
+
+
+def amazon_watch_env(
+    seed: int,
+    catalog_size: int = 12_000,
+    churn_per_round: int = 120,
+    promo_rounds: tuple[int, ...] = DEFAULT_PROMO_ROUNDS,
+    promo_discount: float = DEFAULT_PROMO_DISCOUNT,
+    promo_fraction: float = DEFAULT_PROMO_FRACTION,
+) -> tuple[HiddenDatabase, UpdateSchedule]:
+    """Build the Thanksgiving-week watch department.
+
+    Returns a database plus a composite schedule: light daily listing churn
+    and the promotion price wave on the configured rounds.
+    """
+    source = _watch_source(seed)
+    db = HiddenDatabase(source.schema)
+    for values, measures in source.batch(catalog_size):
+        db.insert(values, measures)
+    churn = FreshTupleSchedule(
+        source,
+        inserts_per_round=churn_per_round,
+        deletes_per_round=churn_per_round,
+    )
+    promotion = _PromotionSchedule(promo_rounds, promo_discount, promo_fraction)
+    return db, CompositeSchedule([churn, promotion])

@@ -1,0 +1,49 @@
+"""Shared product-catalog schema for the marketplace simulators.
+
+Both live experiments in the paper monitor *watches*: Amazon's watch
+department (Thanksgiving week 2013) and eBay's women's wrist watches.
+The catalog schema is a plausible faceted-search layout: every attribute
+is something those sites actually expose as a search refinement, and price
+is a non-searchable measure (you can sort by it, not equality-filter it).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..hiddendb.schema import Attribute, Schema
+
+GENDERS = ("men", "women")
+WATCH_TYPES = ("wrist", "pocket", "smart")
+BRANDS = tuple(f"brand_{i:02d}" for i in range(24))
+BAND_MATERIALS = ("leather", "steel", "silicone", "nylon", "ceramic", "gold")
+MOVEMENTS = ("quartz", "automatic", "mechanical", "solar")
+CONDITIONS = ("new", "used", "refurbished")
+LISTING_FORMATS = ("FIX", "BID")
+STYLES = ("casual", "dress", "sport", "luxury", "diver")
+DIAL_COLORS = ("black", "white", "blue", "silver", "gold", "green", "red")
+WATER_RESIST = ("none", "30m", "50m", "100m", "200m")
+
+
+def watch_schema(include_listing_format: bool = False) -> Schema:
+    """The watch catalog; eBay adds the Buy-It-Now vs bidding facet."""
+    attributes = [
+        Attribute("gender", GENDERS),
+        Attribute("type", WATCH_TYPES),
+        Attribute("brand", BRANDS),
+        Attribute("band", BAND_MATERIALS),
+        Attribute("movement", MOVEMENTS),
+        Attribute("condition", CONDITIONS),
+        Attribute("style", STYLES),
+        Attribute("dial", DIAL_COLORS),
+        Attribute("water", WATER_RESIST),
+    ]
+    if include_listing_format:
+        attributes.insert(0, Attribute("format", LISTING_FORMATS))
+    return Schema(attributes, measures=("price", "base_price"))
+
+
+def sample_price(rng: random.Random, luxury_bias: float = 0.0) -> float:
+    """Log-normal watch price; luxury bias shifts the whole distribution."""
+    return round(math.exp(rng.gauss(4.6 + luxury_bias, 0.9)), 2)

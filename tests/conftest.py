@@ -1,0 +1,53 @@
+"""Shared fixtures: small, fully-inspectable hidden databases."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Attribute, HiddenDatabase, Schema, TopKInterface
+from repro.hiddendb.session import QuerySession
+
+
+@pytest.fixture
+def small_schema() -> Schema:
+    """3 categorical attributes (2*3*4 = 24 leaves) + one measure."""
+    return Schema(
+        [
+            Attribute("color", ("red", "blue")),
+            Attribute("size", ("s", "m", "l")),
+            Attribute("kind", ("a", "b", "c", "d")),
+        ],
+        measures=("price",),
+    )
+
+
+def fill_random(
+    db: HiddenDatabase, count: int, seed: int = 0, price_range=(1.0, 100.0)
+) -> None:
+    """Insert ``count`` random tuples (duplicates on values allowed)."""
+    rng = random.Random(seed)
+    sizes = db.schema.domain_sizes
+    for _ in range(count):
+        values = bytes(rng.randrange(s) for s in sizes)
+        price = round(rng.uniform(*price_range), 2)
+        db.insert(values, (price,))
+
+
+@pytest.fixture
+def small_db(small_schema) -> HiddenDatabase:
+    db = HiddenDatabase(small_schema)
+    fill_random(db, 60, seed=1)
+    return db
+
+
+@pytest.fixture
+def small_interface(small_db) -> TopKInterface:
+    return TopKInterface(small_db, k=5)
+
+
+@pytest.fixture
+def open_session(small_interface) -> QuerySession:
+    """A session with no budget limit."""
+    return QuerySession(small_interface, budget=None)

@@ -1,0 +1,110 @@
+"""Tests for the ad-hoc (retroactive) query archive (§5.1)."""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    EstimationError,
+    HiddenDatabase,
+    ReissueEstimator,
+    TopKInterface,
+    avg_measure,
+    count_all,
+    count_where,
+    sum_measure,
+)
+from repro.core.adhoc import DrillDownArchive
+from repro.data import autos_snapshot, SnapshotPoolSchedule, apply_round
+
+
+@pytest.fixture
+def tracked_env():
+    schema, payloads = autos_snapshot(total=6000, seed=5)
+    db = HiddenDatabase(schema)
+    for values, measures in payloads[:5500]:
+        db.insert(values, measures)
+    schedule = SnapshotPoolSchedule(
+        payloads[5500:], inserts_per_round=50, delete_fraction=0.005
+    )
+    interface = TopKInterface(db, k=60)
+    estimator = ReissueEstimator(
+        interface, [count_all()], budget_per_round=300, seed=2
+    )
+    archive = estimator.attach_archive()
+    rng = random.Random(9)
+    truths = {}
+    for round_number in range(1, 5):
+        if round_number > 1:
+            apply_round(db, schedule, rng)
+            db.advance_round()
+        estimator.run_round()
+        truths[round_number] = {
+            "count": float(len(db)),
+            "sum_price": sum(t.measures[0] for t in db.tuples()),
+        }
+    return db, archive, truths
+
+
+class TestArchive:
+    def test_attach_is_idempotent(self, small_interface):
+        estimator = ReissueEstimator(
+            small_interface, [count_all()], budget_per_round=10
+        )
+        assert estimator.attach_archive() is estimator.attach_archive()
+
+    def test_rounds_recorded(self, tracked_env):
+        _, archive, _ = tracked_env
+        assert archive.rounds() == [1, 2, 3, 4]
+        assert archive.drilldowns_in(1) > 0
+
+    def test_retroactive_count(self, tracked_env):
+        _, archive, truths = tracked_env
+        for round_number in (1, 3):
+            estimate = archive.estimate(count_all(), round_number)
+            truth = truths[round_number]["count"]
+            assert estimate.value == pytest.approx(truth, rel=0.5)
+            assert estimate.drilldowns > 0
+
+    def test_retroactive_unseen_aggregate(self, tracked_env):
+        """A SUM the estimator never tracked, answered from the archive."""
+        db, archive, truths = tracked_env
+        spec = sum_measure(db.schema, "price")
+        estimate = archive.estimate(spec, 2)
+        assert estimate.value == pytest.approx(
+            truths[2]["sum_price"], rel=0.6
+        )
+
+    def test_retroactive_conditional_count(self, tracked_env):
+        db, archive, _ = tracked_env
+        spec = count_where(db.schema, {"certified": "certified_0"})
+        truth = spec.ground_truth(db)
+        estimate = archive.estimate(spec, 4)
+        assert estimate.value == pytest.approx(truth, rel=0.8)
+
+    def test_retroactive_ratio(self, tracked_env):
+        db, archive, _ = tracked_env
+        spec = avg_measure(db.schema, "price")
+        estimate = archive.estimate(spec, 3)
+        truth = spec.ground_truth(db)  # round-4 truth; rough sanity only
+        assert 0.2 * truth < estimate.value < 5 * truth
+
+    def test_retroactive_change(self, tracked_env):
+        _, archive, truths = tracked_env
+        estimate = archive.estimate_change(count_all(), 1, 4)
+        true_change = truths[4]["count"] - truths[1]["count"]
+        # Differenced independent estimates: very loose sanity band.
+        assert abs(estimate.value - true_change) < 0.5 * truths[4]["count"]
+        assert estimate.variance > 0
+
+    def test_unknown_round_raises(self, tracked_env):
+        _, archive, _ = tracked_env
+        with pytest.raises(EstimationError):
+            archive.estimate(count_all(), 99)
+
+    def test_retrieved_tuples_distinct(self, tracked_env):
+        _, archive, _ = tracked_env
+        tuples = archive.retrieved_tuples(1)
+        assert len({t.tid for t in tuples}) == len(tuples)
+        assert tuples

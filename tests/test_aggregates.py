@@ -1,0 +1,198 @@
+"""Unit tests for aggregate specifications and contribution math."""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    HiddenDatabase,
+    QueryTree,
+    SchemaError,
+    TopKInterface,
+    avg_measure,
+    count_all,
+    count_where,
+    proportion_where,
+    running_average,
+    size_change,
+    sum_measure,
+)
+from repro.core.aggregates import base_specs_of
+from repro.core.drilldown import drill_from_root
+from repro.hiddendb.session import QuerySession
+from tests.conftest import fill_random
+
+
+class TestFactories:
+    def test_count_all(self, small_db):
+        spec = count_all()
+        assert spec.ground_truth(small_db) == len(small_db)
+
+    def test_count_where_pushdown(self, small_schema, small_db):
+        spec = count_where(small_schema, {"color": "blue"})
+        assert spec.interface_predicates == {0: 1}
+        expected = sum(1 for t in small_db.tuples() if t.values[0] == 1)
+        assert spec.ground_truth(small_db) == expected
+
+    def test_sum_measure(self, small_schema, small_db):
+        spec = sum_measure(small_schema, "price")
+        expected = sum(t.measures[0] for t in small_db.tuples())
+        assert spec.ground_truth(small_db) == pytest.approx(expected)
+
+    def test_sum_measure_with_condition(self, small_schema, small_db):
+        spec = sum_measure(small_schema, "price", where={"size": "m"})
+        expected = sum(
+            t.measures[0] for t in small_db.tuples() if t.values[1] == 1
+        )
+        assert spec.ground_truth(small_db) == pytest.approx(expected)
+
+    def test_avg_measure_ground_truth(self, small_schema, small_db):
+        spec = avg_measure(small_schema, "price")
+        expected = sum(t.measures[0] for t in small_db.tuples()) / len(small_db)
+        assert spec.ground_truth(small_db) == pytest.approx(expected)
+
+    def test_proportion_ground_truth(self, small_schema, small_db):
+        spec = proportion_where(small_schema, {"kind": "a"})
+        expected = sum(
+            1 for t in small_db.tuples() if t.values[2] == 0
+        ) / len(small_db)
+        assert spec.ground_truth(small_db) == pytest.approx(expected)
+
+    def test_avg_of_empty_database_is_nan(self, small_schema):
+        db = HiddenDatabase(small_schema)
+        assert math.isnan(avg_measure(small_schema, "price").ground_truth(db))
+
+    def test_residual_selection(self, small_schema, small_db):
+        spec = count_where(
+            small_schema,
+            {"color": "red"},
+            selection=lambda t: t.measures[0] > 50,
+        )
+        expected = sum(
+            1
+            for t in small_db.tuples()
+            if t.values[0] == 0 and t.measures[0] > 50
+        )
+        assert spec.ground_truth(small_db) == expected
+
+    def test_running_average_window_validation(self):
+        with pytest.raises(ValueError):
+            running_average(0)
+
+    def test_size_change_default_base(self):
+        spec = size_change()
+        assert spec.base.name == "count"
+
+
+class TestBaseSpecsOf:
+    def test_flattens_ratio(self, small_schema):
+        avg = avg_measure(small_schema, "price")
+        names = {spec.name for spec in base_specs_of([avg])}
+        assert names == {f"{avg.name}__sum", f"{avg.name}__count"}
+
+    def test_flattens_trans_round(self):
+        count = count_all()
+        specs = base_specs_of([count, size_change(count), running_average(3, count)])
+        assert [spec.name for spec in specs] == ["count"]
+
+    def test_name_collision_rejected(self):
+        with pytest.raises(SchemaError):
+            base_specs_of([count_all(), count_all()])
+
+    def test_shared_instance_allowed(self):
+        count = count_all()
+        assert base_specs_of([count, size_change(count)]) == [count]
+
+
+class TestContributions:
+    def test_underflow_contributes_zero(self, small_schema):
+        db = HiddenDatabase(small_schema)
+        tree = QueryTree(small_schema)
+        session = QuerySession(TopKInterface(db, k=5))
+        outcome = drill_from_root(session, tree, (0, 0, 0))
+        assert count_all().contribution(outcome, tree) == 0.0
+
+    def test_valid_node_scaled_by_inverse_p(self, small_schema):
+        db = HiddenDatabase(small_schema)
+        # 3 tuples sharing color=red; none elsewhere => depth-1 node valid.
+        for kind in range(3):
+            db.insert([0, 0, kind])
+        tree = QueryTree(small_schema)
+        session = QuerySession(TopKInterface(db, k=5))
+        outcome = drill_from_root(session, tree, (0, 0, 0))
+        assert outcome.depth == 0  # root is valid (3 <= 5)
+        assert count_all().contribution(outcome, tree) == 3.0
+
+    def test_deeper_node_scaling(self, small_schema):
+        db = HiddenDatabase(small_schema)
+        for kind in range(4):
+            db.insert([0, 0, kind], (10.0,))
+        for kind in range(4):
+            db.insert([1, 1, kind], (20.0,))
+        tree = QueryTree(small_schema)
+        session = QuerySession(TopKInterface(db, k=5))
+        outcome = drill_from_root(session, tree, (0, 0, 0))
+        # Root overflows (8 > 5); color=red has 4 <= 5 -> depth 1, p=1/2.
+        assert outcome.depth == 1
+        assert count_all().contribution(outcome, tree) == pytest.approx(8.0)
+        assert sum_measure(small_schema, "price").contribution(
+            outcome, tree
+        ) == pytest.approx(80.0)
+
+    def test_pushdown_applied_tuplewise_when_not_in_tree(self, small_schema):
+        db = HiddenDatabase(small_schema)
+        db.insert([0, 0, 0])
+        db.insert([1, 0, 0])
+        tree = QueryTree(small_schema)  # full tree, no fixed predicates
+        session = QuerySession(TopKInterface(db, k=5))
+        outcome = drill_from_root(session, tree, (0, 0, 0))
+        blue_count = count_where(small_schema, {"color": "blue"})
+        assert blue_count.contribution(outcome, tree) == 1.0
+
+    def test_pushdown_in_tree_counts_returned_page(self, small_schema):
+        db = HiddenDatabase(small_schema)
+        db.insert([1, 0, 0])
+        db.insert([1, 2, 3])
+        tree = QueryTree(small_schema, fixed={0: 1})
+        tree.register(TopKInterface(db, k=5))
+        session = QuerySession(TopKInterface(db, k=5))
+        outcome = drill_from_root(session, tree, (0, 0))
+        blue_count = count_where(small_schema, {"color": "blue"})
+        assert blue_count.contribution(outcome, tree) == 2.0
+
+
+class TestUnbiasedness:
+    def test_mean_drilldown_contribution_matches_truth(self, small_schema):
+        """E[Q(q)/p(q)] == Q — Theorem 3.1, checked by exhaustive leaves."""
+        db = HiddenDatabase(small_schema)
+        fill_random(db, 40, seed=9)
+        tree = QueryTree(small_schema)
+        session = QuerySession(TopKInterface(db, k=4))
+        spec = count_all()
+        total = 0.0
+        leaves = 0
+        for a in range(2):
+            for b in range(3):
+                for c in range(4):
+                    outcome = drill_from_root(session, tree, (a, b, c))
+                    if outcome.leaf_overflow:
+                        pytest.skip("collision-heavy fixture")
+                    total += spec.contribution(outcome, tree)
+                    leaves += 1
+        assert total / leaves == pytest.approx(len(db))
+
+    def test_sum_unbiased_over_exhaustive_leaves(self, small_schema):
+        db = HiddenDatabase(small_schema)
+        fill_random(db, 35, seed=11)
+        tree = QueryTree(small_schema)
+        session = QuerySession(TopKInterface(db, k=4))
+        spec = sum_measure(small_schema, "price")
+        truth = spec.ground_truth(db)
+        total = 0.0
+        for a in range(2):
+            for b in range(3):
+                for c in range(4):
+                    outcome = drill_from_root(session, tree, (a, b, c))
+                    total += spec.contribution(outcome, tree)
+        assert total / 24 == pytest.approx(truth)

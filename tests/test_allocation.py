@@ -1,0 +1,132 @@
+"""Unit tests for the RS budget water-filling allocator."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.allocation import (
+    GroupParams,
+    combined_variance,
+    integer_allocation,
+    waterfill,
+)
+
+
+def brute_force_best(groups, budget):
+    """Exhaustive integer optimum on small instances."""
+    ranges = []
+    for group in groups:
+        cap = int(min(group.upper, budget // group.cost))
+        ranges.append(range(cap + 1))
+    best = None
+    best_allocation = None
+    for combo in itertools.product(*ranges):
+        cost = sum(c * g.cost for c, g in zip(combo, groups))
+        if cost > budget + 1e-9:
+            continue
+        allocation = {g.key: c for g, c in zip(groups, combo)}
+        variance = combined_variance(groups, allocation)
+        if best is None or variance < best - 1e-12:
+            best = variance
+            best_allocation = allocation
+    return best, best_allocation
+
+
+class TestValidation:
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            GroupParams("x", alpha=-1, beta=0, cost=1)
+
+    def test_zero_cost_rejected(self):
+        with pytest.raises(ValueError):
+            GroupParams("x", alpha=1, beta=0, cost=0)
+
+
+class TestWaterfill:
+    def test_empty_budget(self):
+        groups = [GroupParams("a", 1.0, 0.1, 1.0, upper=10)]
+        assert waterfill(groups, 0)["a"] == 0.0
+
+    def test_respects_upper_bounds(self):
+        groups = [GroupParams("a", 1.0, 0.5, 1.0, upper=3)]
+        allocation = waterfill(groups, 100)
+        assert allocation["a"] <= 3
+
+    def test_budget_constraint_respected(self):
+        groups = [
+            GroupParams("a", 1.0, 0.1, 2.0, upper=50),
+            GroupParams("b", 4.0, 0.0, 3.0, upper=math.inf),
+        ]
+        allocation = waterfill(groups, 60)
+        spend = sum(
+            allocation[g.key] * g.cost for g in groups
+        )
+        assert spend <= 60 + 1e-6
+
+    def test_zero_alpha_group_gets_single_verification(self):
+        """No observed change => verify once, spend the rest on new."""
+        groups = [
+            GroupParams("stale", alpha=0.0, beta=0.2, cost=2.0, upper=40),
+            GroupParams("new", alpha=5.0, beta=0.0, cost=5.0),
+        ]
+        allocation = waterfill(groups, 100)
+        assert allocation["stale"] == pytest.approx(1.0)
+        assert allocation["new"] > 10
+
+    def test_big_change_prefers_cheap_updates(self):
+        """alpha_update ~ alpha_new but updates cost less => update first."""
+        groups = [
+            GroupParams("old", alpha=5.0, beta=0.05, cost=2.0, upper=20),
+            GroupParams("new", alpha=5.0, beta=0.0, cost=6.0),
+        ]
+        allocation = integer_allocation(groups, 60)
+        assert allocation["old"] == 20  # group exhausted before new work
+
+
+class TestIntegerAllocation:
+    @pytest.mark.parametrize("budget", [5, 11, 23, 37])
+    def test_close_to_brute_force(self, budget):
+        groups = [
+            GroupParams("a", alpha=2.0, beta=0.05, cost=2.0, upper=8),
+            GroupParams("b", alpha=6.0, beta=0.0, cost=3.0, upper=12),
+        ]
+        allocation = integer_allocation(groups, budget)
+        mine = combined_variance(groups, allocation)
+        best, _ = brute_force_best(groups, budget)
+        assert mine <= best * 1.25 + 1e-9
+
+    def test_three_groups_vs_brute_force(self):
+        groups = [
+            GroupParams("a", alpha=1.0, beta=0.02, cost=2.0, upper=6),
+            GroupParams("b", alpha=3.0, beta=0.10, cost=2.5, upper=6),
+            GroupParams("c", alpha=8.0, beta=0.0, cost=4.0, upper=8),
+        ]
+        allocation = integer_allocation(groups, 30)
+        mine = combined_variance(groups, allocation)
+        best, _ = brute_force_best(groups, 30)
+        assert mine <= best * 1.25 + 1e-9
+
+    def test_spends_leftover_budget(self):
+        groups = [
+            GroupParams("a", alpha=2.0, beta=0.0, cost=1.0, upper=100),
+        ]
+        allocation = integer_allocation(groups, 10)
+        assert allocation["a"] == 10
+
+
+class TestCorollary41Regime:
+    def test_no_change_sends_budget_to_new(self):
+        """sigma_c^2 = 0 => h1 minimal (Corollary 4.1's first case)."""
+        old = GroupParams("old", alpha=0.0, beta=0.3, cost=2.0, upper=50)
+        new = GroupParams("new", alpha=10.0, beta=0.0, cost=5.0)
+        allocation = integer_allocation([old, new], 200)
+        assert allocation["old"] <= 1
+        assert allocation["new"] >= 35
+
+    def test_total_change_reduces_to_reissue(self):
+        """sigma_c ~ sigma_d and cheaper updates => update everything."""
+        old = GroupParams("old", alpha=10.0, beta=0.2, cost=2.0, upper=30)
+        new = GroupParams("new", alpha=10.0, beta=0.0, cost=6.0)
+        allocation = integer_allocation([old, new], 100)
+        assert allocation["old"] == 30

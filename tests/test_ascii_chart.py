@@ -1,0 +1,51 @@
+"""Unit tests for the ASCII chart and table renderers."""
+
+import math
+
+from repro.experiments import render_chart, render_table
+
+
+class TestChart:
+    def test_contains_markers_and_legend(self):
+        text = render_chart({"A": [1.0, 2.0, 3.0], "B": [3.0, 2.0, 1.0]})
+        assert "*" in text and "o" in text
+        assert "A" in text and "B" in text
+
+    def test_labels_rendered(self):
+        text = render_chart({"x": [1.0, 2.0]}, y_label="err", x_label="round")
+        assert "err" in text
+        assert "round" in text
+
+    def test_log_scale_annotated(self):
+        text = render_chart({"x": [0.01, 10.0]}, log_y=True, y_label="err")
+        assert "log scale" in text
+
+    def test_empty_series(self):
+        assert "no finite data" in render_chart({"x": []})
+
+    def test_nan_values_skipped(self):
+        text = render_chart({"x": [math.nan, 1.0, math.nan, 2.0]})
+        assert "*" in text
+
+    def test_constant_series_no_crash(self):
+        assert render_chart({"x": [5.0, 5.0, 5.0]})
+
+    def test_single_point(self):
+        assert render_chart({"x": [1.0]})
+
+
+class TestTable:
+    def test_alignment_and_headers(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert lines[0].endswith("bb")
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.000123], [123456.0], [float("nan")]])
+        assert "1.230e-04" in text
+        assert "1.235e+05" in text or "123456" in text
+        assert "nan" in text
+
+    def test_empty_rows(self):
+        assert render_table(["a"], [])

@@ -1,0 +1,57 @@
+"""Unit tests for the Yahoo! Autos surrogate."""
+
+import pytest
+
+from repro.data import (
+    AUTOS_DOMAIN_SIZES,
+    AUTOS_TOTAL_TUPLES,
+    autos_schema,
+    autos_snapshot,
+)
+
+
+class TestSchema:
+    def test_published_shape(self):
+        schema = autos_schema()
+        assert schema.num_attributes == 38
+        assert min(schema.domain_sizes) == 2
+        assert max(schema.domain_sizes) == 38
+        assert schema.domain_sizes == AUTOS_DOMAIN_SIZES
+
+    def test_measures(self):
+        assert autos_schema().measures == ("price", "mileage")
+
+    def test_published_total(self):
+        assert AUTOS_TOTAL_TUPLES == 188_917
+
+
+class TestSnapshot:
+    def test_scaled_snapshot(self):
+        schema, payloads = autos_snapshot(total=500, seed=0)
+        assert len(payloads) == 500
+        values = {v for v, _ in payloads}
+        assert len(values) == 500  # all distinct
+
+    def test_payloads_valid(self):
+        schema, payloads = autos_snapshot(total=100, seed=1)
+        for values, measures in payloads:
+            schema.validate_values(values)
+            price, mileage = measures
+            assert price > 0
+            assert mileage >= 0
+
+    def test_deterministic_by_seed(self):
+        _, a = autos_snapshot(total=50, seed=5)
+        _, b = autos_snapshot(total=50, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        _, a = autos_snapshot(total=50, seed=5)
+        _, b = autos_snapshot(total=50, seed=6)
+        assert a != b
+
+    def test_prices_plausibly_lognormal(self):
+        _, payloads = autos_snapshot(total=2000, seed=2)
+        prices = sorted(p for _, (p, _) in payloads)
+        median = prices[len(prices) // 2]
+        assert 5_000 < median < 40_000

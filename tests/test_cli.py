@@ -1,0 +1,38 @@
+"""Unit tests for the experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestList:
+    def test_list_prints_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out
+        assert "fig21" in out
+        assert "ablation_parent_check" in out
+
+
+class TestRun:
+    def test_unknown_figure(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_run_tiny_figure(self, capsys):
+        code = main([
+            "run", "fig02", "--scale", "0.01", "--trials", "1",
+            "--rounds", "2", "--budget", "40",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out
+        assert "RESTART" in out
+
+    def test_out_file(self, tmp_path, capsys):
+        target = tmp_path / "results.txt"
+        code = main([
+            "run", "fig02", "--scale", "0.01", "--trials", "1",
+            "--rounds", "2", "--budget", "40", "--out", str(target),
+        ])
+        assert code == 0
+        assert "fig02" in target.read_text()

@@ -1,0 +1,80 @@
+"""Unit tests for the dynamic hidden database wrapper."""
+
+import pytest
+
+from repro import HiddenDatabase
+from repro.hiddendb.ranking import MeasureScore, RecencyScore
+
+
+class TestRounds:
+    def test_starts_at_round_one(self, small_schema):
+        assert HiddenDatabase(small_schema).current_round == 1
+
+    def test_advance_round(self, small_schema):
+        db = HiddenDatabase(small_schema)
+        assert db.advance_round() == 2
+        assert db.current_round == 2
+
+
+class TestMutations:
+    def test_insert_assigns_tid_and_score(self, small_schema):
+        db = HiddenDatabase(small_schema)
+        a = db.insert([0, 1, 2], (5.0,))
+        b = db.insert([1, 0, 0], (1.0,))
+        assert a.tid != b.tid
+        assert 0.0 <= a.score <= 1.0  # RandomScore default
+
+    def test_insert_accepts_bytes(self, small_schema):
+        db = HiddenDatabase(small_schema)
+        t = db.insert(bytes([1, 2, 3]))
+        assert t.values == bytes([1, 2, 3])
+
+    def test_explicit_tid_advances_allocator(self, small_schema):
+        db = HiddenDatabase(small_schema)
+        db.insert([0, 0, 0], tid=10)
+        assert db.insert([0, 0, 1]).tid == 11
+
+    def test_delete(self, small_schema):
+        db = HiddenDatabase(small_schema)
+        t = db.insert([0, 0, 0])
+        db.delete(t.tid)
+        assert len(db) == 0
+
+    def test_update_measures(self, small_schema):
+        db = HiddenDatabase(small_schema)
+        t = db.insert([0, 0, 0], (5.0,))
+        updated = db.update_measures(t.tid, (7.0,))
+        assert updated.measures == (7.0,)
+        assert db.store.get(t.tid).measures == (7.0,)
+
+    def test_bulk_load_counts(self, small_schema):
+        from repro.hiddendb.tuples import make_tuple
+
+        db = HiddenDatabase(small_schema)
+        loaded = db.bulk_load(
+            make_tuple(i, [0, 0, 0]) for i in range(5)
+        )
+        assert loaded == 5
+        assert len(db) == 5
+
+
+class TestRankingPolicies:
+    def test_measure_score_descending(self, small_schema):
+        db = HiddenDatabase(small_schema, ranking=MeasureScore("price"))
+        cheap = db.insert([0, 0, 0], (1.0,))
+        pricey = db.insert([0, 0, 1], (99.0,))
+        assert pricey.score > cheap.score
+
+    def test_measure_score_ascending(self, small_schema):
+        db = HiddenDatabase(
+            small_schema, ranking=MeasureScore("price", descending=False)
+        )
+        cheap = db.insert([0, 0, 0], (1.0,))
+        pricey = db.insert([0, 0, 1], (99.0,))
+        assert cheap.score > pricey.score
+
+    def test_recency_score(self, small_schema):
+        db = HiddenDatabase(small_schema, ranking=RecencyScore())
+        first = db.insert([0, 0, 0])
+        second = db.insert([0, 0, 1])
+        assert second.score > first.score

@@ -1,0 +1,166 @@
+"""Unit and property tests for drill-down and reissue-update walks.
+
+The crown-jewel invariant: in strict mode, ``reissue_update`` must land on
+exactly the node ``drill_from_root`` would pick for the same signature and
+database state — from ANY starting depth.  That equality is what keeps
+Theorem 3.1's unbiasedness intact across rounds.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Attribute, HiddenDatabase, QueryError, QueryTree, Schema, TopKInterface
+from repro.core.drilldown import drill_from_root, reissue_update
+from repro.hiddendb.session import QuerySession
+from tests.conftest import fill_random
+
+
+@pytest.fixture
+def tree(small_schema):
+    return QueryTree(small_schema)
+
+
+def open_session_for(db, k=5):
+    interface = TopKInterface(db, k=k)
+    return QuerySession(interface, budget=None)
+
+
+class TestDrillFromRoot:
+    def test_stops_at_first_non_overflowing(self, small_db, tree):
+        session = open_session_for(small_db)
+        outcome = drill_from_root(session, tree, (0, 0, 0))
+        assert not outcome.result.overflow or outcome.leaf_overflow
+        if outcome.depth > 0:
+            # The parent must overflow (it's why we kept drilling).
+            parent = session.search(tree.query_at((0, 0, 0), outcome.depth - 1))
+            assert parent.overflow
+
+    def test_cost_equals_depth_plus_one(self, small_db, tree):
+        session = open_session_for(small_db)
+        outcome = drill_from_root(session, tree, (1, 2, 3))
+        assert outcome.queries_spent == outcome.depth + 1
+
+    def test_empty_database_terminates_at_root(self, small_schema, tree):
+        db = HiddenDatabase(small_schema)
+        session = open_session_for(db)
+        outcome = drill_from_root(session, tree, (0, 0, 0))
+        assert outcome.depth == 0
+        assert outcome.result.underflow
+
+    def test_leaf_overflow_flagged(self, small_schema, tree):
+        db = HiddenDatabase(small_schema)
+        for _ in range(5):
+            db.insert([0, 0, 0])  # five identical value vectors
+        session = open_session_for(db, k=2)
+        outcome = drill_from_root(session, tree, (0, 0, 0))
+        assert outcome.depth == tree.max_depth
+        assert outcome.leaf_overflow
+
+
+class TestReissueUpdate:
+    def test_bad_mode_rejected(self, small_db, tree):
+        session = open_session_for(small_db)
+        with pytest.raises(QueryError):
+            reissue_update(session, tree, (0, 0, 0), 0, parent_check="nope")
+
+    def test_bad_depth_rejected(self, small_db, tree):
+        session = open_session_for(small_db)
+        with pytest.raises(QueryError):
+            reissue_update(session, tree, (0, 0, 0), 9)
+
+    def test_stable_drilldown_costs_two(self, small_db, tree):
+        session = open_session_for(small_db)
+        first = drill_from_root(session, tree, (1, 1, 1))
+        if first.depth == 0:
+            pytest.skip("signature terminates at root in this fixture")
+        update = reissue_update(session, tree, (1, 1, 1), first.depth)
+        assert update.depth == first.depth
+        assert update.queries_spent == 2  # node + parent confirmation
+
+    def test_stable_root_costs_one(self, small_schema, tree):
+        db = HiddenDatabase(small_schema)
+        db.insert([0, 0, 0])
+        session = open_session_for(db)
+        update = reissue_update(session, tree, (0, 0, 0), 0)
+        assert update.depth == 0
+        assert update.queries_spent == 1
+
+    def test_descends_after_growth(self, small_schema, tree):
+        db = HiddenDatabase(small_schema)
+        session = open_session_for(db, k=2)
+        first = drill_from_root(session, tree, (0, 0, 0))
+        assert first.depth == 0
+        fill_random(db, 100, seed=2)
+        update = reissue_update(session, tree, (0, 0, 0), first.depth)
+        fresh = drill_from_root(session, tree, (0, 0, 0))
+        assert update.depth == fresh.depth
+
+    def test_rolls_up_after_shrink(self, small_db, tree):
+        session = open_session_for(small_db)
+        first = drill_from_root(session, tree, (1, 2, 3))
+        for tid in list(t.tid for t in small_db.tuples()):
+            small_db.delete(tid)
+        update = reissue_update(session, tree, (1, 2, 3), first.depth)
+        assert update.depth == 0
+        assert update.result.underflow
+
+    def test_lazy_mode_accepts_valid_without_parent_check(
+        self, small_db, tree
+    ):
+        session = open_session_for(small_db)
+        first = drill_from_root(session, tree, (1, 1, 2))
+        if first.depth == 0 or not first.result.valid:
+            pytest.skip("fixture signature not valid below root")
+        update = reissue_update(
+            session, tree, (1, 1, 2), first.depth, parent_check="lazy"
+        )
+        assert update.queries_spent == 1
+
+
+def _random_signature(schema, rnd):
+    return tuple(rnd.randrange(a.size) for a in schema.attributes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=120),
+    st.integers(min_value=0, max_value=120),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=3),
+    st.randoms(use_true_random=False),
+)
+def test_reissue_equals_fresh_drilldown(
+    initial, churn, k, start_offset, rnd
+):
+    """Strict reissue lands exactly where a fresh drill-down would.
+
+    Build a random DB, drill, mutate randomly, then update from the old
+    terminal depth (shifted by a random offset to model stale records) and
+    compare against a from-scratch drill-down on the new state.
+    """
+    schema = Schema(
+        [Attribute("a", 2), Attribute("b", 3), Attribute("c", 4)]
+    )
+    db = HiddenDatabase(schema)
+    fill_random(db, initial, seed=rnd.randrange(10_000))
+    tree = QueryTree(schema)
+    session = open_session_for(db, k=k)
+    signature = _random_signature(schema, rnd)
+    first = drill_from_root(session, tree, signature)
+    # Random churn: deletes and inserts.
+    tids = [t.tid for t in db.tuples()]
+    rnd.shuffle(tids)
+    for tid in tids[: rnd.randrange(len(tids) + 1)]:
+        db.delete(tid)
+    fill_random(db, churn, seed=rnd.randrange(10_000))
+    start_depth = max(0, min(tree.max_depth, first.depth + start_offset - 1))
+    update = reissue_update(session, tree, signature, start_depth)
+    fresh = drill_from_root(session, tree, signature)
+    assert update.depth == fresh.depth
+    assert update.result.status == fresh.result.status
+    assert [t.tid for t in update.result.tuples] == [
+        t.tid for t in fresh.result.tuples
+    ]

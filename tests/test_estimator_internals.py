@@ -1,0 +1,174 @@
+"""White-box tests for estimator internals and figure-builder helpers."""
+
+import math
+import py_compile
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    HiddenDatabase,
+    ReissueEstimator,
+    RestartEstimator,
+    RsEstimator,
+    TopKInterface,
+    count_all,
+    running_average,
+)
+from repro.core.estimators.base import DrillDownRecord
+from repro.data import autos_snapshot
+from repro.experiments.figures.common import (
+    FigureResult,
+    autos_env_factory,
+    scaled_k,
+)
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.fixture
+def rs(small_interface):
+    return RsEstimator(small_interface, [count_all()], budget_per_round=40,
+                       seed=0)
+
+
+class TestRsInternals:
+    def test_bucket_records_keeps_recent_groups(self, rs):
+        rs.records = [
+            DrillDownRecord((0,), 0, last_round, {"count": 1.0})
+            for last_round in (1, 1, 2, 3, 4, 5, 6, 7)
+        ]
+        rs.max_update_groups = 4
+        groups = rs._bucket_records()
+        # 3 most recent rounds individually + one merged archive.
+        assert set(groups) == {7, 6, 5, 1}
+        assert len(groups[1]) == 5  # rounds 1,1,2,3,4 merged
+
+    def test_bucket_records_no_archive_when_few_rounds(self, rs):
+        rs.records = [
+            DrillDownRecord((0,), 0, last_round, {"count": 1.0})
+            for last_round in (1, 2)
+        ]
+        groups = rs._bucket_records()
+        assert set(groups) == {1, 2}
+
+    def test_delta_alpha_floor_dominates_zero_samples(self, rs):
+        rs._pooled = {"count": 100.0}
+        # Ten observed zero deltas: sample variance 0, floor kicks in.
+        alpha = rs._delta_alpha([0.0] * 10, "count")
+        assert alpha == pytest.approx(2 * 100.0 / 12)
+
+    def test_delta_alpha_floor_shrinks_with_verification(self, rs):
+        rs._pooled = {"count": 100.0}
+        few = rs._delta_alpha([0.0] * 5, "count")
+        many = rs._delta_alpha([0.0] * 50, "count")
+        assert many < few
+
+    def test_delta_alpha_sample_variance_wins_when_large(self, rs):
+        rs._pooled = {"count": 1.0}
+        alpha = rs._delta_alpha([0.0, 100.0, -100.0], "count")
+        assert alpha == pytest.approx(10000.0, rel=0.01)
+
+    def test_pooled_variances_over_records(self, rs):
+        rs.records = [
+            DrillDownRecord((0,), 0, 1, {"count": value})
+            for value in (10.0, 20.0, 30.0)
+        ]
+        pooled = rs._pooled_variances()
+        assert pooled["count"] == pytest.approx(100.0)
+
+    def test_pooled_variance_single_record_is_inf(self, rs):
+        rs.records = [DrillDownRecord((0,), 0, 1, {"count": 10.0})]
+        assert math.isinf(rs._pooled_variances()["count"])
+
+
+class TestBaseInternals:
+    def test_previous_report_picks_most_recent_earlier(self, small_interface,
+                                                       small_db):
+        estimator = RestartEstimator(
+            small_interface, [count_all()], budget_per_round=20
+        )
+        estimator.run_round()
+        small_db.advance_round()
+        estimator.run_round()
+        previous = estimator._previous_report(2)
+        assert previous is not None and previous.round_index == 1
+        assert estimator._previous_report(1) is None
+
+    def test_running_average_uses_available_window(self, small_interface,
+                                                   small_db):
+        count = count_all()
+        estimator = RestartEstimator(
+            small_interface,
+            [count, running_average(3, count, name="ravg")],
+            budget_per_round=25,
+        )
+        first = estimator.run_round()
+        # Window of 3 with one round of history: averages what exists.
+        assert first.estimates["ravg"] == first.estimates["count"]
+        small_db.advance_round()
+        second = estimator.run_round()
+        expected = (first.estimates["count"] + second.estimates["count"]) / 2
+        assert second.estimates["ravg"] == pytest.approx(expected)
+
+    def test_carry_previous_estimate_when_budget_too_small(
+        self, small_interface, small_db
+    ):
+        """A round whose budget can't finish one drill-down carries over."""
+        estimator = RestartEstimator(
+            small_interface, [count_all()], budget_per_round=50
+        )
+        first = estimator.run_round()
+        small_db.advance_round()
+        estimator.budget_per_round = 1  # root query only: no completion...
+        second = estimator.run_round()
+        # ...unless the root itself is non-overflowing; with 60 tuples and
+        # k=5 the root overflows, so the estimate carries over.
+        assert second.estimates["count"] == first.estimates["count"]
+        assert math.isinf(second.variances["count"])
+
+
+class TestFigureHelpers:
+    def test_scaled_k(self):
+        assert scaled_k(0.1) == 100
+        assert scaled_k(0.001) == 5  # floor
+
+    def test_env_factory_respects_scale(self):
+        factory = autos_env_factory(scale=0.01)
+        db, schedule = factory(0)
+        assert len(db) == 1700
+        assert schedule.inserts_per_round == 3
+
+    def test_env_factory_num_attributes(self):
+        factory = autos_env_factory(scale=0.005, num_attributes=10)
+        db, _ = factory(0)
+        assert db.schema.num_attributes == 10
+
+    def test_figure_result_renders(self):
+        figure = FigureResult(
+            "figX", "demo", "x", "y", [1, 2], {"A": [0.1, 0.2]},
+            notes="n", log_y=True,
+        )
+        text = figure.to_text()
+        assert "figX" in text and "notes: n" in text
+        assert "0.2" in figure.table()
+
+
+class TestExamplesIntegrity:
+    @pytest.mark.parametrize(
+        "path", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+    )
+    def test_example_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    def test_expected_examples_present(self):
+        names = {p.stem for p in EXAMPLES}
+        assert {
+            "quickstart",
+            "job_market_tracker",
+            "app_store_census",
+            "ebay_price_watch",
+            "retroactive_analytics",
+        } <= names

@@ -1,0 +1,240 @@
+"""Unit and behavioural tests for the three estimators."""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    EstimationError,
+    HiddenDatabase,
+    ReissueEstimator,
+    RestartEstimator,
+    RsEstimator,
+    TopKInterface,
+    avg_measure,
+    count_all,
+    count_where,
+    size_change,
+    sum_measure,
+)
+from repro.core.estimators.base import shared_pushdown
+from repro.data import autos_snapshot, SnapshotPoolSchedule, apply_round
+from tests.conftest import fill_random
+
+ALL_ESTIMATORS = (RestartEstimator, ReissueEstimator, RsEstimator)
+
+
+def medium_env(n_total=6000, n_init=5400, seed=7):
+    schema, payloads = autos_snapshot(total=n_total, seed=seed)
+    db = HiddenDatabase(schema)
+    for values, measures in payloads[:n_init]:
+        db.insert(values, measures)
+    schedule = SnapshotPoolSchedule(
+        payloads[n_init:], inserts_per_round=30, delete_fraction=0.002
+    )
+    return db, schedule
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("cls", ALL_ESTIMATORS)
+    def test_requires_positive_budget(self, cls, small_interface):
+        with pytest.raises(EstimationError):
+            cls(small_interface, [count_all()], budget_per_round=0)
+
+    @pytest.mark.parametrize("cls", ALL_ESTIMATORS)
+    def test_requires_specs(self, cls, small_interface):
+        with pytest.raises(EstimationError):
+            cls(small_interface, [], budget_per_round=10)
+
+    def test_rs_bootstrap_validation(self, small_interface):
+        with pytest.raises(ValueError):
+            RsEstimator(
+                small_interface, [count_all()], budget_per_round=10,
+                bootstrap_per_group=1,
+            )
+
+    def test_shared_pushdown_intersection(self, small_schema):
+        a = count_where(small_schema, {"color": "blue", "size": "m"})
+        b = count_where(small_schema, {"color": "blue"})
+        assert shared_pushdown([a, b]) == {0: 1}
+        assert shared_pushdown([a, b, count_all()]) == {}
+
+    def test_pushdown_shapes_tree(self, small_interface, small_schema):
+        spec = count_where(small_schema, {"color": "blue"})
+        estimator = RestartEstimator(
+            small_interface, [spec], budget_per_round=10
+        )
+        assert estimator.tree.fixed == {0: 1}
+
+    def test_pushdown_disabled(self, small_interface, small_schema):
+        spec = count_where(small_schema, {"color": "blue"})
+        estimator = RestartEstimator(
+            small_interface, [spec], budget_per_round=10,
+            push_selection=False,
+        )
+        assert estimator.tree.fixed == {}
+
+
+class TestRoundMechanics:
+    @pytest.mark.parametrize("cls", ALL_ESTIMATORS)
+    def test_budget_respected(self, cls, small_interface):
+        estimator = cls(small_interface, [count_all()], budget_per_round=17)
+        report = estimator.run_round()
+        assert report.queries_used <= 17
+
+    @pytest.mark.parametrize("cls", ALL_ESTIMATORS)
+    def test_report_contents(self, cls, small_interface):
+        estimator = cls(small_interface, [count_all()], budget_per_round=20)
+        report = estimator.run_round()
+        assert report.round_index == 1
+        assert "count" in report.estimates
+        assert "count" in report.variances
+        assert estimator.history == [report]
+
+    @pytest.mark.parametrize("cls", ALL_ESTIMATORS)
+    def test_multi_round_history(self, cls, small_interface, small_db):
+        estimator = cls(small_interface, [count_all()], budget_per_round=25)
+        estimator.run_round()
+        small_db.advance_round()
+        report = estimator.run_round()
+        assert report.round_index == 2
+        assert len(estimator.history) == 2
+
+    def test_restart_keeps_no_records(self, small_interface):
+        estimator = RestartEstimator(
+            small_interface, [count_all()], budget_per_round=25
+        )
+        estimator.run_round()
+        assert estimator.records == []
+
+    def test_reissue_accumulates_records(self, small_interface, small_db):
+        estimator = ReissueEstimator(
+            small_interface, [count_all()], budget_per_round=25
+        )
+        estimator.run_round()
+        first = len(estimator.records)
+        small_db.advance_round()
+        estimator.run_round()
+        assert len(estimator.records) >= first
+        assert all(r.last_round == 2 for r in estimator.records[:first])
+
+    def test_rs_first_round_restart_like(self, small_interface):
+        estimator = RsEstimator(
+            small_interface, [count_all()], budget_per_round=25
+        )
+        report = estimator.run_round()
+        assert report.drilldowns_updated == 0
+        assert report.drilldowns_new > 0
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("cls", ALL_ESTIMATORS)
+    def test_first_round_estimate_reasonable(self, cls):
+        db, _ = medium_env()
+        interface = TopKInterface(db, k=50)
+        estimator = cls(interface, [count_all()], budget_per_round=300, seed=2)
+        report = estimator.run_round()
+        assert report.estimates["count"] == pytest.approx(len(db), rel=0.5)
+
+    @pytest.mark.parametrize("cls", (ReissueEstimator, RsEstimator))
+    def test_tracking_improves_over_rounds(self, cls):
+        db, schedule = medium_env()
+        interface = TopKInterface(db, k=50)
+        estimator = cls(interface, [count_all()], budget_per_round=250, seed=4)
+        rng = random.Random(0)
+        errors = []
+        for round_number in range(12):
+            if round_number:
+                apply_round(db, schedule, rng)
+                db.advance_round()
+            report = estimator.run_round()
+            errors.append(abs(report.estimates["count"] / len(db) - 1))
+        assert sum(errors[-4:]) / 4 < sum(errors[:4]) / 4 + 0.02
+
+    def test_avg_estimate_tracks_truth(self):
+        db, schedule = medium_env()
+        interface = TopKInterface(db, k=50)
+        spec = avg_measure(db.schema, "price")
+        estimator = RsEstimator(interface, [spec], budget_per_round=300,
+                                seed=1)
+        rng = random.Random(1)
+        for round_number in range(5):
+            if round_number:
+                apply_round(db, schedule, rng)
+                db.advance_round()
+            report = estimator.run_round()
+        truth = spec.ground_truth(db)
+        assert report.estimates[spec.name] == pytest.approx(truth, rel=0.3)
+
+
+class TestSizeChange:
+    def test_reissue_delta_estimator_under_pure_growth(self):
+        db, _ = medium_env()
+        schema = db.schema
+        interface = TopKInterface(db, k=50)
+        count = count_all()
+        estimator = ReissueEstimator(
+            interface, [count, size_change(count, name="growth")],
+            budget_per_round=300, seed=3,
+        )
+        estimator.run_round()
+        # Round 2: nothing changes => the delta estimate must be exactly 0.
+        db.advance_round()
+        report = estimator.run_round()
+        assert report.estimates["growth"] == 0.0
+
+    def test_restart_size_change_is_difference(self, small_interface,
+                                               small_db):
+        count = count_all()
+        estimator = RestartEstimator(
+            small_interface, [count, size_change(count, name="growth")],
+            budget_per_round=30, seed=0,
+        )
+        first = estimator.run_round()
+        small_db.advance_round()
+        second = estimator.run_round()
+        expected = second.estimates["count"] - first.estimates["count"]
+        assert second.estimates["growth"] == pytest.approx(expected)
+
+    def test_first_round_size_change_nan(self, small_interface):
+        count = count_all()
+        estimator = ReissueEstimator(
+            small_interface, [count, size_change(count, name="growth")],
+            budget_per_round=30,
+        )
+        report = estimator.run_round()
+        assert math.isnan(report.estimates["growth"])
+
+
+class TestRsBehaviour:
+    def test_static_database_keeps_growing_the_pool(self):
+        """Unlike REISSUE, RS keeps initiating new drill-downs every round
+        (its whole point), and its active pool keeps growing."""
+        db, _ = medium_env()
+        interface = TopKInterface(db, k=50)
+        estimator = RsEstimator(
+            interface, [count_all()], budget_per_round=250, seed=6,
+        )
+        estimator.run_round()
+        pool_sizes = [len(estimator.records)]
+        for _ in range(3):
+            db.advance_round()
+            report = estimator.run_round()
+            assert report.drilldowns_new >= estimator.bootstrap_per_group
+            pool_sizes.append(len(estimator.records))
+        assert pool_sizes == sorted(pool_sizes)
+        assert pool_sizes[-1] > pool_sizes[0]
+
+    def test_records_grow_without_bound_of_reissue(self):
+        db, _ = medium_env()
+        interface = TopKInterface(db, k=50)
+        rs = RsEstimator(interface, [count_all()], budget_per_round=200,
+                         seed=8)
+        reissue = ReissueEstimator(interface, [count_all()],
+                                   budget_per_round=200, seed=8)
+        for _ in range(6):
+            rs.run_round()
+            reissue.run_round()
+            db.advance_round()
+        assert len(rs.records) > len(reissue.records)

@@ -1,0 +1,149 @@
+"""Tests for the COUNT-metadata extension (§8 future-work direction 1)."""
+
+import math
+
+import pytest
+
+from repro import (
+    ConjunctiveQuery,
+    EstimationError,
+    HiddenDatabase,
+    TopKInterface,
+    avg_measure,
+    count_all,
+    count_where,
+    sum_measure,
+)
+from repro.data import autos_snapshot
+from repro.extensions import CountAssistedEstimator, CountRevealingInterface
+from tests.conftest import fill_random
+
+
+@pytest.fixture
+def counting_interface(small_db):
+    return CountRevealingInterface(TopKInterface(small_db, k=5))
+
+
+class TestCountRevealingInterface:
+    def test_valid_count_equals_page(self, counting_interface, small_schema):
+        query = ConjunctiveQuery.from_labels(
+            small_schema, {"color": "red", "size": "s", "kind": "a"}
+        )
+        result = counting_interface.search(query)
+        assert result.matching_count == len(result.tuples)
+
+    def test_overflow_count_is_total(self, counting_interface, small_db):
+        result = counting_interface.search(ConjunctiveQuery.root())
+        assert result.overflow
+        assert result.matching_count == len(small_db)
+        assert len(result.tuples) == 5  # still only the top-k page
+
+    def test_underflow_count_zero(self, small_schema):
+        db = HiddenDatabase(small_schema)
+        interface = CountRevealingInterface(TopKInterface(db, k=5))
+        result = interface.search(ConjunctiveQuery.root())
+        assert result.matching_count == 0
+
+    def test_non_prefix_query_counted_by_scan(self, counting_interface,
+                                              small_db):
+        counting_interface.register_attr_order((0, 1, 2))
+        query = ConjunctiveQuery([(2, 1)])  # not a prefix of (0,1,2)
+        result = counting_interface.search(query)
+        expected = sum(1 for t in small_db.tuples() if t.values[2] == 1)
+        assert result.matching_count == expected
+
+    def test_delegates_properties(self, counting_interface, small_db):
+        assert counting_interface.k == 5
+        assert counting_interface.schema is small_db.schema
+        assert counting_interface.current_round == 1
+
+
+@pytest.fixture
+def autos_counting_env():
+    schema, payloads = autos_snapshot(total=4000, seed=11)
+    db = HiddenDatabase(schema)
+    for values, measures in payloads:
+        db.insert(values, measures)
+    return db, CountRevealingInterface(TopKInterface(db, k=80))
+
+
+class TestCountAssistedEstimator:
+    def test_requires_counting_interface(self, small_db):
+        with pytest.raises(EstimationError):
+            CountAssistedEstimator(
+                TopKInterface(small_db, k=5), [count_all()], 10
+            )
+
+    def test_count_star_is_exact_in_one_round(self, autos_counting_env):
+        db, interface = autos_counting_env
+        estimator = CountAssistedEstimator(
+            interface, [count_all()], budget_per_round=5
+        )
+        report = estimator.run_round()
+        assert report.estimates["count"] == len(db)
+        assert report.variances["count"] == 0.0
+        assert report.queries_used == 1  # the root query alone
+
+    def test_pushdown_count_exact(self, autos_counting_env):
+        db, interface = autos_counting_env
+        spec = count_where(db.schema, {"certified": "certified_0"})
+        estimator = CountAssistedEstimator(
+            interface, [spec], budget_per_round=5
+        )
+        report = estimator.run_round()
+        assert report.estimates[spec.name] == spec.ground_truth(db)
+
+    def test_sum_estimate_unbiased_and_tight(self, autos_counting_env):
+        db, interface = autos_counting_env
+        spec = sum_measure(db.schema, "price")
+        truth = spec.ground_truth(db)
+        errors = []
+        for seed in range(4):
+            estimator = CountAssistedEstimator(
+                interface, [spec], budget_per_round=400, seed=seed
+            )
+            report = estimator.run_round()
+            errors.append(abs(report.estimates[spec.name] / truth - 1))
+        assert sum(errors) / len(errors) < 0.1
+
+    def test_avg_ratio(self, autos_counting_env):
+        db, interface = autos_counting_env
+        spec = avg_measure(db.schema, "price")
+        estimator = CountAssistedEstimator(
+            interface, [spec], budget_per_round=400, seed=1
+        )
+        report = estimator.run_round()
+        truth = spec.ground_truth(db)
+        assert report.estimates[spec.name] == pytest.approx(truth, rel=0.2)
+
+    def test_budget_respected(self, autos_counting_env):
+        _, interface = autos_counting_env
+        estimator = CountAssistedEstimator(
+            interface, [sum_measure(interface.schema, "price")],
+            budget_per_round=50, seed=0,
+        )
+        report = estimator.run_round()
+        assert report.queries_used <= 50
+
+    def test_empty_database_nan_sum(self, small_schema):
+        db = HiddenDatabase(small_schema)
+        interface = CountRevealingInterface(TopKInterface(db, k=5))
+        estimator = CountAssistedEstimator(
+            interface, [sum_measure(small_schema, "price")],
+            budget_per_round=20,
+        )
+        report = estimator.run_round()
+        assert math.isnan(report.estimates["sum_price"])
+
+    def test_walk_probability_exact_on_small_tree(self, small_schema):
+        """Terminal probability equals count(q)/count(root) empirically."""
+        db = HiddenDatabase(small_schema)
+        fill_random(db, 120, seed=4)
+        interface = CountRevealingInterface(TopKInterface(db, k=10))
+        spec = sum_measure(small_schema, "price")
+        truth = spec.ground_truth(db)
+        estimator = CountAssistedEstimator(
+            interface, [spec], budget_per_round=3000, seed=3
+        )
+        report = estimator.run_round()
+        assert report.estimates["sum_price"] == pytest.approx(truth, rel=0.2)

@@ -1,0 +1,148 @@
+"""Smoke tests: every figure builder runs at tiny scale and returns sane data.
+
+These are integration tests of the whole stack (data -> estimators ->
+runner -> metrics -> figure); the benchmarks run the same builders at
+representative scale and assert the paper's shapes.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.figures import (
+    FIGURES,
+    run_ablation_attr_order,
+    run_ablation_bootstrap,
+    run_ablation_client_cache,
+    run_ablation_parent_check,
+    run_fig02,
+    run_fig04,
+    run_fig08,
+    run_fig10,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig15,
+    run_fig18,
+    run_fig19,
+    run_fig20,
+    run_fig21,
+)
+
+TINY = dict(scale=0.01, trials=1, rounds=3, budget=60)
+
+
+def assert_sane(figure, expect_series):
+    assert figure.xs, figure.figure_id
+    assert set(expect_series) <= set(figure.series)
+    for values in figure.series.values():
+        assert len(values) == len(figure.xs)
+    assert figure.to_text()  # renders without crashing
+    assert figure.table()
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        expected = {f"fig{i:02d}" for i in range(2, 22)}
+        assert expected <= set(FIGURES)
+        assert len(FIGURES) == 24  # 20 figures + 4 ablations
+
+    def test_registry_values_callable(self):
+        assert all(callable(f) for f in FIGURES.values())
+
+
+class TestErrorSeriesFigures:
+    def test_fig02(self):
+        figure = run_fig02(**TINY)
+        assert_sane(figure, {"RESTART", "REISSUE", "RS"})
+        assert all(
+            not math.isnan(v) for v in figure.series["RESTART"]
+        )
+
+    def test_fig04_intra(self):
+        figure = run_fig04(**TINY)
+        assert_sane(figure, {"REISSUE", "REISSUE(intra)", "RS", "RS(intra)"})
+
+
+class TestSweepFigures:
+    def test_fig08(self):
+        figure = run_fig08(
+            scale=0.01, trials=1, rounds=3, budget=60, k_values=(300, 900)
+        )
+        assert_sane(figure, {"RESTART", "REISSUE", "RS"})
+        assert figure.xs == [300, 900]
+
+    def test_fig10(self):
+        figure = run_fig10(trials=1, rounds=3, budget=40,
+                           net_inserts=(-10, 10), k=20)
+        assert figure.xs == [-10, 10]
+
+    def test_fig12(self):
+        figure = run_fig12(trials=1, rounds=2, budget=60,
+                           sizes=(1000, 5000), k=20)
+        assert figure.xs == [1000, 5000]
+
+    def test_fig13(self):
+        figure = run_fig13(scale=0.01, trials=1, rounds=3, budget=80)
+        assert figure.xs == [0, 1, 2, 3]
+        assert_sane(figure, {"RESTART", "REISSUE", "RS"})
+
+
+class TestTransRoundFigures:
+    def test_fig14(self):
+        figure = run_fig14(scale=0.01, trials=1, rounds=4, budget=60,
+                           windows=(2, 3))
+        assert figure.xs == [2, 3]
+
+    def test_fig15(self):
+        figure = run_fig15(**TINY)
+        assert_sane(figure, {"RESTART", "REISSUE", "RS"})
+        assert figure.log_y
+
+
+class TestEfficiencyFigures:
+    def test_fig18(self):
+        figure = run_fig18(
+            scale=0.01, trials=1, rounds=3,
+            targets=(0.5,), budget_grid=(40, 120),
+        )
+        assert figure.xs == [0.5]
+
+    def test_fig19(self):
+        figure = run_fig19(**TINY)
+        assert_sane(figure, {"RESTART", "REISSUE", "RS"})
+        for values in figure.series.values():
+            assert values == sorted(values)  # cumulative => nondecreasing
+
+
+class TestLiveFigures:
+    def test_fig20(self):
+        figure = run_fig20(trials=1, rounds=3, budget=120, catalog_size=800)
+        assert_sane(figure, {"avg_price(RS)", "avg_price(truth)"})
+
+    def test_fig21(self):
+        figure = run_fig21(trials=1, rounds=2, budget=80, catalog_size=800)
+        assert "truth-FIX" in figure.series
+        assert "RS-BID" in figure.series
+
+
+class TestAblations:
+    def test_parent_check(self):
+        figure = run_ablation_parent_check(scale=0.01, trials=1, rounds=3,
+                                           budget=60)
+        assert_sane(figure, {"REISSUE-strict", "REISSUE-lazy"})
+
+    def test_client_cache(self):
+        figure = run_ablation_client_cache(scale=0.01, trials=1, rounds=3,
+                                           budget=60)
+        assert_sane(figure, {"RESTART", "RESTART-cache", "REISSUE"})
+
+    def test_bootstrap(self):
+        figure = run_ablation_bootstrap(scale=0.01, trials=1, rounds=3,
+                                        budget=80, pilot_counts=(4, 10))
+        assert "RS(w=4)" in figure.series
+
+    def test_attr_order(self):
+        figure = run_ablation_attr_order(scale=0.01, trials=1, rounds=3,
+                                         budget=60)
+        assert_sane(figure, {"REISSUE-small-first", "REISSUE-large-first"})

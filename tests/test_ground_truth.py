@@ -1,0 +1,96 @@
+"""Unit tests for the incremental ground-truth tracker."""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    HiddenDatabase,
+    avg_measure,
+    count_all,
+    count_where,
+    running_average,
+    size_change,
+    sum_measure,
+)
+from repro.experiments import GroundTruthTracker
+from tests.conftest import fill_random
+
+
+class TestRunningTotals:
+    def test_initial_scan(self, small_db):
+        tracker = GroundTruthTracker(small_db, [count_all()])
+        assert tracker.current("count") == len(small_db)
+
+    def test_insert_updates_totals(self, small_db, small_schema):
+        spec = sum_measure(small_schema, "price")
+        tracker = GroundTruthTracker(small_db, [spec])
+        before = tracker.current(spec.name)
+        small_db.insert([0, 0, 0], (25.0,))
+        assert tracker.current(spec.name) == pytest.approx(before + 25.0)
+
+    def test_delete_updates_totals(self, small_db):
+        tracker = GroundTruthTracker(small_db, [count_all()])
+        small_db.delete(next(small_db.tuples()).tid)
+        assert tracker.current("count") == len(small_db)
+
+    def test_measure_update_reflected(self, small_db, small_schema):
+        spec = sum_measure(small_schema, "price")
+        tracker = GroundTruthTracker(small_db, [spec])
+        victim = next(small_db.tuples())
+        delta = 100.0 - victim.measures[0]
+        before = tracker.current(spec.name)
+        small_db.update_measures(victim.tid, (100.0,))
+        assert tracker.current(spec.name) == pytest.approx(before + delta)
+
+    def test_verify_against_scan_after_churn(self, small_db, small_schema):
+        specs = [count_all(), sum_measure(small_schema, "price"),
+                 count_where(small_schema, {"color": "red"})]
+        tracker = GroundTruthTracker(small_db, specs)
+        rng = random.Random(0)
+        for _ in range(40):
+            if rng.random() < 0.5 and len(small_db) > 1:
+                small_db.delete(rng.choice([t.tid for t in small_db.tuples()]))
+            else:
+                fill_random(small_db, 1, seed=rng.randrange(9999))
+        tracker.verify_against_scan()
+
+
+class TestSnapshots:
+    def test_ratio_spec(self, small_db, small_schema):
+        spec = avg_measure(small_schema, "price")
+        tracker = GroundTruthTracker(small_db, [spec])
+        snapshot = tracker.record_round(1)
+        assert snapshot[spec.name] == pytest.approx(
+            spec.ground_truth(small_db)
+        )
+
+    def test_size_change_needs_history(self, small_db):
+        count = count_all()
+        tracker = GroundTruthTracker(
+            small_db, [count, size_change(count, name="growth")]
+        )
+        first = tracker.record_round(1)
+        assert math.isnan(first["growth"])
+        small_db.insert([0, 0, 0], (1.0,))
+        small_db.advance_round()
+        second = tracker.record_round(2)
+        assert second["growth"] == 1.0
+
+    def test_running_average(self, small_db):
+        count = count_all()
+        tracker = GroundTruthTracker(
+            small_db, [count, running_average(2, count, name="ravg")]
+        )
+        first = tracker.record_round(1)
+        assert first["ravg"] == len(small_db)
+        n1 = len(small_db)
+        small_db.insert([0, 0, 0], (1.0,))
+        second = tracker.record_round(2)
+        assert second["ravg"] == pytest.approx((n1 + len(small_db)) / 2)
+
+    def test_truth_lookup(self, small_db):
+        tracker = GroundTruthTracker(small_db, [count_all()])
+        tracker.record_round(1)
+        assert tracker.truth(1, "count") == len(small_db)

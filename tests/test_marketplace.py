@@ -1,0 +1,108 @@
+"""Unit tests for the Amazon/eBay marketplace surrogates."""
+
+import random
+
+import pytest
+
+from repro.data import apply_round
+from repro.marketplace import amazon_watch_env, ebay_watch_env, watch_schema
+from repro.marketplace.ebay import BID_VALUE, FIX_VALUE, FORMAT_ATTR_INDEX
+
+
+class TestSchema:
+    def test_base_schema(self):
+        schema = watch_schema()
+        assert "gender" in [a.name for a in schema.attributes]
+        assert schema.measures == ("price", "base_price")
+
+    def test_ebay_schema_adds_format(self):
+        schema = watch_schema(include_listing_format=True)
+        assert schema.attributes[FORMAT_ATTR_INDEX].name == "format"
+
+
+class TestAmazon:
+    def test_initial_catalog(self):
+        db, schedule = amazon_watch_env(seed=0, catalog_size=800)
+        assert len(db) == 800
+
+    def test_promotion_drops_and_restores_average_price(self):
+        db, schedule = amazon_watch_env(
+            seed=0, catalog_size=800, churn_per_round=0,
+            promo_rounds=(2,), promo_discount=0.5, promo_fraction=1.0,
+        )
+        rng = random.Random(0)
+
+        def average_price():
+            return sum(t.measures[0] for t in db.tuples()) / len(db)
+
+        baseline = average_price()
+        apply_round(db, schedule, rng)  # entering round 2: promo applies
+        db.advance_round()
+        # Discounted prices are rounded to cents, so the average is only
+        # approximately baseline/2; the restore is exact.
+        assert average_price() == pytest.approx(baseline * 0.5, rel=1e-3)
+        apply_round(db, schedule, rng)  # entering round 3: promo reverts
+        db.advance_round()
+        assert average_price() == pytest.approx(baseline, rel=1e-9)
+
+    def test_churn_preserves_size(self):
+        db, schedule = amazon_watch_env(
+            seed=1, catalog_size=500, churn_per_round=25, promo_rounds=(),
+        )
+        rng = random.Random(1)
+        apply_round(db, schedule, rng)
+        assert len(db) == 500
+
+
+class TestEbay:
+    def test_fix_prices_above_bid_snapshots(self):
+        db, _ = ebay_watch_env(seed=2, catalog_size=2000)
+        fix, bid = [], []
+        for t in db.tuples():
+            (bid if t.values[FORMAT_ATTR_INDEX] == BID_VALUE else fix).append(
+                t.measures[0]
+            )
+        assert fix and bid
+        assert sum(fix) / len(fix) > 1.5 * sum(bid) / len(bid)
+
+    def test_bid_prices_climb_with_bumps(self):
+        db, schedule = ebay_watch_env(
+            seed=3, catalog_size=2000, bid_bump_fraction=0.5,
+            bid_churn_fraction=0.0, fix_churn_fraction=0.0,
+        )
+        rng = random.Random(3)
+
+        def bid_average():
+            prices = [
+                t.measures[0]
+                for t in db.tuples()
+                if t.values[FORMAT_ATTR_INDEX] == BID_VALUE
+            ]
+            return sum(prices) / len(prices)
+
+        before = bid_average()
+        apply_round(db, schedule, rng)
+        assert bid_average() > before
+
+    def test_bumps_never_exceed_base(self):
+        db, schedule = ebay_watch_env(
+            seed=4, catalog_size=1000, bid_bump_fraction=1.0,
+            bid_churn_fraction=0.0, fix_churn_fraction=0.0,
+        )
+        rng = random.Random(4)
+        for _ in range(10):
+            apply_round(db, schedule, rng)
+            db.advance_round()
+        for t in db.tuples():
+            assert t.measures[0] <= t.measures[1] + 1e-9
+
+    def test_churn_replaces_listings(self):
+        db, schedule = ebay_watch_env(
+            seed=5, catalog_size=1000, bid_bump_fraction=0.0,
+            bid_churn_fraction=0.2, fix_churn_fraction=0.0,
+        )
+        before_tids = {t.tid for t in db.tuples()}
+        apply_round(db, schedule, random.Random(5))
+        after_tids = {t.tid for t in db.tuples()}
+        assert before_tids != after_tids
+        assert len(after_tids) == pytest.approx(len(before_tids), abs=5)

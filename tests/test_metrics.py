@@ -1,0 +1,96 @@
+"""Unit tests for experiment result containers and metrics."""
+
+import math
+
+import pytest
+
+from repro import ExperimentError
+from repro.experiments.metrics import ExperimentResult, relative_error
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+
+    def test_nan_propagates(self):
+        assert math.isnan(relative_error(math.nan, 1.0))
+        assert math.isnan(relative_error(1.0, math.nan))
+
+    def test_zero_truth(self):
+        assert math.isinf(relative_error(1.0, 0.0))
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_sign_insensitive(self):
+        assert relative_error(-110.0, -100.0) == pytest.approx(0.1)
+
+
+def build_result() -> ExperimentResult:
+    """Two estimators, two trials, three rounds, one spec."""
+    result = ExperimentResult("demo", ["A", "B"], ["count"])
+    truths = [100.0, 110.0, 120.0]
+    estimates = {
+        "A": [[100.0, 100.0, 100.0], [110.0, 121.0, 132.0]],
+        "B": [[90.0, 99.0, 108.0], [90.0, 99.0, 108.0]],
+    }
+    for trial in range(2):
+        result.start_trial()
+        for position, truth in enumerate(truths):
+            result.record_truth(position + 1, {"count": truth})
+            for estimator in ("A", "B"):
+                result.record_report(
+                    estimator,
+                    {"count": estimates[estimator][trial][position]},
+                    queries_used=10,
+                    drilldowns=position + 1,
+                )
+    return result
+
+
+class TestExperimentResult:
+    def test_shape(self):
+        result = build_result()
+        assert result.num_trials == 2
+        assert result.num_rounds == 3
+        assert result.rounds == [1, 2, 3]
+
+    def test_rel_errors_matrix(self):
+        result = build_result()
+        matrix = result.rel_errors("A", "count")
+        assert matrix.shape == (2, 3)
+        assert matrix[0, 0] == pytest.approx(0.0)
+        assert matrix[1, 1] == pytest.approx(0.1)
+
+    def test_mean_series(self):
+        result = build_result()
+        series = result.mean_rel_error_series("B", "count")
+        assert series == pytest.approx([0.1, 0.1, 0.1])
+
+    def test_final_and_tail(self):
+        result = build_result()
+        assert result.final_rel_error("B", "count") == pytest.approx(0.1)
+        assert result.tail_rel_error("B", "count", tail=2) == pytest.approx(0.1)
+
+    def test_estimate_series_and_spread(self):
+        result = build_result()
+        series = result.estimate_series("A", "count")
+        assert series[0] == pytest.approx(105.0)
+        spread = result.estimate_spread("A", "count")
+        assert spread[0] == pytest.approx(7.0710678, rel=1e-3)
+
+    def test_truth_series(self):
+        result = build_result()
+        assert result.truth_series("count") == [100.0, 110.0, 120.0]
+
+    def test_cumulative_counters(self):
+        result = build_result()
+        assert result.cumulative_queries("A") == [10.0, 20.0, 30.0]
+        assert result.cumulative_drilldowns("A") == [1.0, 3.0, 6.0]
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(ExperimentError):
+            build_result().rel_errors("nope", "count")
+
+    def test_unknown_spec_gives_nan(self):
+        result = build_result()
+        series = result.mean_rel_error_series("A", "ghost")
+        assert all(math.isnan(v) for v in series)

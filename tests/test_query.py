@@ -1,0 +1,78 @@
+"""Unit tests for conjunctive queries."""
+
+import pytest
+
+from repro import ConjunctiveQuery, QueryError
+from repro.hiddendb.tuples import make_tuple
+
+
+class TestConstruction:
+    def test_root_query(self):
+        root = ConjunctiveQuery.root()
+        assert root.num_predicates == 0
+
+    def test_predicates_sorted(self):
+        q = ConjunctiveQuery([(2, 1), (0, 1)])
+        assert q.predicates == ((0, 1), (2, 1))
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([(1, 0), (1, 2)])
+
+    def test_from_labels(self, small_schema):
+        q = ConjunctiveQuery.from_labels(
+            small_schema, {"size": "m", "color": "red"}
+        )
+        assert q.predicates == ((0, 0), (1, 1))
+
+    def test_extended(self):
+        q = ConjunctiveQuery([(0, 1)]).extended(2, 3)
+        assert q.predicates == ((0, 1), (2, 3))
+
+
+class TestMatching:
+    def test_root_matches_everything(self):
+        assert ConjunctiveQuery.root().matches(make_tuple(0, [1, 2, 3]))
+
+    def test_match_positive(self):
+        q = ConjunctiveQuery([(0, 1), (2, 3)])
+        assert q.matches(make_tuple(0, [1, 9, 3]))
+
+    def test_match_negative(self):
+        q = ConjunctiveQuery([(0, 1), (2, 3)])
+        assert not q.matches(make_tuple(0, [1, 9, 2]))
+
+
+class TestValidation:
+    def test_validate_ok(self, small_schema):
+        ConjunctiveQuery([(0, 1), (2, 3)]).validate(small_schema)
+
+    def test_validate_bad_attribute(self, small_schema):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([(9, 0)]).validate(small_schema)
+
+    def test_validate_bad_value(self, small_schema):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([(0, 5)]).validate(small_schema)
+
+
+class TestIdentity:
+    def test_equality_and_hash(self):
+        a = ConjunctiveQuery([(0, 1), (1, 2)])
+        b = ConjunctiveQuery([(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert ConjunctiveQuery([(0, 1)]) != ConjunctiveQuery([(0, 2)])
+
+    def test_usable_as_dict_key(self):
+        cache = {ConjunctiveQuery([(0, 1)]): "x"}
+        assert cache[ConjunctiveQuery([(0, 1)])] == "x"
+
+    def test_describe(self, small_schema):
+        q = ConjunctiveQuery.from_labels(small_schema, {"color": "blue"})
+        assert "color = 'blue'" in q.describe(small_schema)
+        assert ConjunctiveQuery.root().describe(small_schema) == (
+            "SELECT * FROM D"
+        )

@@ -1,0 +1,165 @@
+"""Unit tests for update schedules and the intra-round driver."""
+
+import random
+
+import pytest
+
+from repro import HiddenDatabase
+from repro.data import (
+    CompositeSchedule,
+    FreshTupleSchedule,
+    IntraRoundDriver,
+    MeasureDriftSchedule,
+    NullSchedule,
+    SnapshotPoolSchedule,
+    apply_round,
+    skewed_source,
+)
+
+
+@pytest.fixture
+def source():
+    return skewed_source(
+        [4, 5, 6],
+        measures=("price",),
+        measure_sampler=lambda rng: (rng.uniform(1, 10),),
+        seed=0,
+    )
+
+
+@pytest.fixture
+def db(source):
+    database = HiddenDatabase(source.schema)
+    for values, measures in source.batch(50):
+        database.insert(values, measures)
+    return database
+
+
+class TestNullSchedule:
+    def test_plans_nothing(self, db):
+        assert NullSchedule().plan(db, random.Random(0)) == []
+
+
+class TestSnapshotPool:
+    def test_inserts_come_from_pool(self, db, source):
+        pool = source.batch(30, distinct=False)
+        schedule = SnapshotPoolSchedule(pool, inserts_per_round=10)
+        before = len(db)
+        apply_round(db, schedule, random.Random(1))
+        assert len(db) == before + 10
+        assert len(schedule.pool) == 20
+
+    def test_deletions_return_to_pool(self, db):
+        schedule = SnapshotPoolSchedule([], deletes_per_round=5)
+        before = len(db)
+        apply_round(db, schedule, random.Random(1))
+        assert len(db) == before - 5
+        assert len(schedule.pool) == 5
+
+    def test_delete_fraction(self, db):
+        schedule = SnapshotPoolSchedule([], delete_fraction=0.1)
+        before = len(db)
+        apply_round(db, schedule, random.Random(2))
+        assert len(db) == before - round(before * 0.1)
+
+    def test_pool_exhaustion_caps_inserts(self, db, source):
+        pool = source.batch(3, distinct=False)
+        schedule = SnapshotPoolSchedule(pool, inserts_per_round=10)
+        before = len(db)
+        apply_round(db, schedule, random.Random(3))
+        assert len(db) == before + 3
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SnapshotPoolSchedule([], delete_fraction=1.5)
+
+
+class TestFreshTuple:
+    def test_insert_and_delete_counts(self, db, source):
+        schedule = FreshTupleSchedule(
+            source, inserts_per_round=8, deletes_per_round=3
+        )
+        before = len(db)
+        apply_round(db, schedule, random.Random(4))
+        assert len(db) == before + 5
+
+    def test_unbounded_inserts(self, db, source):
+        schedule = FreshTupleSchedule(source, inserts_per_round=200)
+        apply_round(db, schedule, random.Random(5))
+        apply_round(db, schedule, random.Random(6))
+        assert len(db) == 50 + 400
+
+
+class TestMeasureDrift:
+    def test_updates_fraction(self, db):
+        schedule = MeasureDriftSchedule(0.5, lambda t, rng, r: (99.0,))
+        apply_round(db, schedule, random.Random(7))
+        updated = sum(1 for t in db.tuples() if t.measures[0] == 99.0)
+        assert updated == 25
+
+    def test_selector_restricts(self, db):
+        schedule = MeasureDriftSchedule(
+            1.0, lambda t, rng, r: (99.0,),
+            selector=lambda t: t.values[0] == 0,
+        )
+        apply_round(db, schedule, random.Random(8))
+        for t in db.tuples():
+            if t.values[0] == 0:
+                assert t.measures[0] == 99.0
+            else:
+                assert t.measures[0] != 99.0
+
+    def test_update_preserves_size(self, db):
+        schedule = MeasureDriftSchedule(1.0, lambda t, rng, r: (1.0,))
+        before = len(db)
+        apply_round(db, schedule, random.Random(9))
+        assert len(db) == before
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            MeasureDriftSchedule(1.2, lambda t, rng, r: ())
+
+
+class TestComposite:
+    def test_concatenates_plans(self, db, source):
+        composite = CompositeSchedule([
+            FreshTupleSchedule(source, inserts_per_round=2),
+            FreshTupleSchedule(source, inserts_per_round=3),
+        ])
+        assert len(composite.plan(db, random.Random(0))) == 5
+
+    def test_tolerates_cross_schedule_deletion(self, db):
+        """A drift op on a tuple another schedule deleted is a no-op."""
+        victim = next(db.tuples()).tid
+        drift = MeasureDriftSchedule(1.0, lambda t, rng, r: (5.0,))
+        plan = drift.plan(db, random.Random(0))
+        db.delete(victim)
+        for mutation in plan:
+            mutation()  # must not raise
+
+
+class TestIntraRoundDriver:
+    def test_spreads_mutations_across_queries(self, db, source):
+        schedule = FreshTupleSchedule(source, inserts_per_round=10)
+        driver = IntraRoundDriver(db, schedule, queries_per_round=10,
+                                  rng=random.Random(0))
+        driver.start_round()
+        sizes = []
+        for _ in range(10):
+            driver.on_query()
+            sizes.append(len(db))
+        assert sizes[-1] == 60
+        assert sizes[4] == 55  # halfway through => half applied
+
+    def test_finish_round_flushes(self, db, source):
+        schedule = FreshTupleSchedule(source, inserts_per_round=10)
+        driver = IntraRoundDriver(db, schedule, queries_per_round=100,
+                                  rng=random.Random(0))
+        driver.start_round()
+        driver.on_query()
+        driver.finish_round()
+        assert len(db) == 60
+
+    def test_invalid_query_count_rejected(self, db, source):
+        with pytest.raises(ValueError):
+            IntraRoundDriver(db, NullSchedule(), 0, random.Random(0))

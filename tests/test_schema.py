@@ -1,0 +1,98 @@
+"""Unit tests for schemas, attributes, and value vectors."""
+
+import pytest
+
+from repro import Attribute, Schema, SchemaError, boolean_schema
+
+
+class TestAttribute:
+    def test_explicit_values(self):
+        attr = Attribute("color", ("red", "blue"))
+        assert attr.size == 2
+        assert attr.values == ("red", "blue")
+
+    def test_generated_values_from_size(self):
+        attr = Attribute("x", 4)
+        assert attr.size == 4
+        assert attr.values[0] == "x_0"
+
+    def test_index_of(self):
+        attr = Attribute("color", ("red", "blue"))
+        assert attr.index_of("blue") == 1
+
+    def test_index_of_unknown_raises(self):
+        attr = Attribute("color", ("red", "blue"))
+        with pytest.raises(SchemaError):
+            attr.index_of("green")
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", ())
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", 0)
+
+    def test_oversized_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", 256)
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", ("a", "a"))
+
+
+class TestSchema:
+    def test_basic_properties(self, small_schema):
+        assert small_schema.num_attributes == 3
+        assert small_schema.domain_sizes == (2, 3, 4)
+        assert small_schema.measures == ("price",)
+
+    def test_leaf_space_size(self, small_schema):
+        assert small_schema.leaf_space_size() == 24
+
+    def test_attribute_index(self, small_schema):
+        assert small_schema.attribute_index("size") == 1
+
+    def test_attribute_index_unknown(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.attribute_index("nope")
+
+    def test_measure_index(self, small_schema):
+        assert small_schema.measure_index("price") == 0
+
+    def test_measure_index_unknown(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.measure_index("weight")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("a", 2), Attribute("a", 3)])
+
+    def test_duplicate_measures_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("a", 2)], measures=("m", "m"))
+
+    def test_validate_values_ok(self, small_schema):
+        small_schema.validate_values(bytes([1, 2, 3]))
+
+    def test_validate_values_wrong_length(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.validate_values(bytes([1, 2]))
+
+    def test_validate_values_out_of_range(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.validate_values(bytes([2, 0, 0]))
+
+    def test_labels_for(self, small_schema):
+        assert small_schema.labels_for(bytes([1, 0, 3])) == ("blue", "s", "d")
+
+    def test_boolean_schema(self):
+        schema = boolean_schema(5)
+        assert schema.num_attributes == 5
+        assert schema.domain_sizes == (2,) * 5
+        assert schema.leaf_space_size() == 32

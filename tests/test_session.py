@@ -1,0 +1,96 @@
+"""Unit tests for budgeted query sessions."""
+
+import pytest
+
+from repro import ConjunctiveQuery, QueryBudgetExhausted
+from repro.hiddendb.session import QuerySession
+
+
+class TestBudget:
+    def test_counts_queries(self, small_interface):
+        session = QuerySession(small_interface, budget=3)
+        session.search(ConjunctiveQuery.root())
+        assert session.queries_used == 1
+        assert session.remaining == 2
+
+    def test_exhaustion_raises(self, small_interface):
+        session = QuerySession(small_interface, budget=2)
+        session.search(ConjunctiveQuery.root())
+        session.search(ConjunctiveQuery([(0, 0)]))
+        with pytest.raises(QueryBudgetExhausted):
+            session.search(ConjunctiveQuery([(0, 1)]))
+
+    def test_exhausted_query_not_executed(self, small_interface):
+        session = QuerySession(small_interface, budget=1)
+        session.search(ConjunctiveQuery.root())
+        before = small_interface.stats.queries
+        with pytest.raises(QueryBudgetExhausted):
+            session.search(ConjunctiveQuery.root())
+        assert small_interface.stats.queries == before
+
+    def test_unlimited_budget(self, small_interface):
+        session = QuerySession(small_interface, budget=None)
+        for _ in range(10):
+            session.search(ConjunctiveQuery.root())
+        assert session.remaining is None
+
+    def test_can_afford(self, small_interface):
+        session = QuerySession(small_interface, budget=2)
+        assert session.can_afford(2)
+        assert not session.can_afford(3)
+
+    def test_reset_round(self, small_interface):
+        session = QuerySession(small_interface, budget=1)
+        session.search(ConjunctiveQuery.root())
+        session.reset_round(budget=5)
+        assert session.queries_used == 0
+        assert session.remaining == 5
+
+
+class TestCache:
+    def test_cache_off_by_default_charges_duplicates(self, small_interface):
+        session = QuerySession(small_interface, budget=10)
+        session.search(ConjunctiveQuery.root())
+        session.search(ConjunctiveQuery.root())
+        assert session.queries_used == 2
+
+    def test_cache_on_charges_once(self, small_interface):
+        session = QuerySession(
+            small_interface, budget=10, cache_within_round=True
+        )
+        first = session.search(ConjunctiveQuery.root())
+        second = session.search(ConjunctiveQuery.root())
+        assert session.queries_used == 1
+        assert first is second
+
+    def test_reset_clears_cache(self, small_interface):
+        session = QuerySession(
+            small_interface, budget=10, cache_within_round=True
+        )
+        session.search(ConjunctiveQuery.root())
+        session.reset_round()
+        session.search(ConjunctiveQuery.root())
+        assert session.queries_used == 1  # counted fresh after the reset
+
+
+class TestHook:
+    def test_on_query_fires_per_charged_query(self, small_interface):
+        fired = []
+        session = QuerySession(
+            small_interface, budget=5, on_query=lambda: fired.append(1)
+        )
+        session.search(ConjunctiveQuery.root())
+        session.search(ConjunctiveQuery([(0, 0)]))
+        assert len(fired) == 2
+
+    def test_on_query_not_fired_for_cache_hits(self, small_interface):
+        fired = []
+        session = QuerySession(
+            small_interface,
+            budget=5,
+            cache_within_round=True,
+            on_query=lambda: fired.append(1),
+        )
+        session.search(ConjunctiveQuery.root())
+        session.search(ConjunctiveQuery.root())
+        assert len(fired) == 1

@@ -1,0 +1,131 @@
+"""Unit and property tests for the blocked sorted list."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hiddendb.store import SortedKeyList
+
+
+class TestBasics:
+    def test_empty(self):
+        keys = SortedKeyList()
+        assert len(keys) == 0
+        assert keys.rank(10) == 0
+        assert 5 not in keys
+
+    def test_bulk_construction_sorted(self):
+        keys = SortedKeyList([5, 1, 3, 2, 4])
+        assert list(keys) == [1, 2, 3, 4, 5]
+
+    def test_add_and_contains(self):
+        keys = SortedKeyList()
+        keys.add(10)
+        keys.add(5)
+        assert 10 in keys and 5 in keys and 7 not in keys
+        assert list(keys) == [5, 10]
+
+    def test_duplicates_allowed(self):
+        keys = SortedKeyList([3, 3, 3])
+        keys.add(3)
+        assert len(keys) == 4
+        assert keys.count_range(3, 4) == 4
+
+    def test_remove(self):
+        keys = SortedKeyList([1, 2, 3])
+        keys.remove(2)
+        assert list(keys) == [1, 3]
+
+    def test_remove_missing_raises(self):
+        keys = SortedKeyList([1, 3])
+        with pytest.raises(ValueError):
+            keys.remove(2)
+
+    def test_remove_empties_block(self):
+        keys = SortedKeyList([7])
+        keys.remove(7)
+        assert len(keys) == 0
+        keys.check_invariants()
+
+    def test_rank(self):
+        keys = SortedKeyList([10, 20, 30])
+        assert keys.rank(5) == 0
+        assert keys.rank(10) == 0
+        assert keys.rank(11) == 1
+        assert keys.rank(35) == 3
+
+    def test_count_range(self):
+        keys = SortedKeyList(range(0, 100, 10))
+        assert keys.count_range(10, 40) == 3
+        assert keys.count_range(40, 10) == 0
+        assert keys.count_range(0, 1000) == 10
+
+    def test_iter_range(self):
+        keys = SortedKeyList(range(10))
+        assert list(keys.iter_range(3, 7)) == [3, 4, 5, 6]
+        assert list(keys.iter_range(7, 3)) == []
+
+    def test_block_splitting(self):
+        keys = SortedKeyList(block_size=4)
+        for value in range(100):
+            keys.add(value)
+        keys.check_invariants()
+        assert list(keys) == list(range(100))
+
+    def test_interleaved_adds_and_removes(self):
+        keys = SortedKeyList(block_size=8)
+        rng = random.Random(0)
+        reference: list[int] = []
+        for _ in range(2000):
+            if reference and rng.random() < 0.45:
+                victim = rng.choice(reference)
+                reference.remove(victim)
+                keys.remove(victim)
+            else:
+                value = rng.randrange(500)
+                reference.append(value)
+                keys.add(value)
+        keys.check_invariants()
+        assert list(keys) == sorted(reference)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=50)),
+        max_size=120,
+    )
+)
+def test_matches_reference_multiset(operations):
+    """Random add/remove streams agree with a plain sorted list."""
+    keys = SortedKeyList(block_size=4)
+    reference: list[int] = []
+    for is_remove, value in operations:
+        if is_remove and value in reference:
+            reference.remove(value)
+            keys.remove(value)
+        elif not is_remove:
+            reference.append(value)
+            keys.add(value)
+    reference.sort()
+    keys.check_invariants()
+    assert list(keys) == reference
+    for probe in (0, 10, 25, 51):
+        expected_rank = sum(1 for v in reference if v < probe)
+        assert keys.rank(probe) == expected_rank
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-1000, max_value=1000), max_size=150),
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=-1000, max_value=1000),
+)
+def test_count_and_iter_range_agree(values, a, b):
+    keys = SortedKeyList(values, block_size=8)
+    lo, hi = min(a, b), max(a, b)
+    in_range = [v for v in sorted(values) if lo <= v < hi]
+    assert keys.count_range(lo, hi) == len(in_range)
+    assert list(keys.iter_range(lo, hi)) == in_range

@@ -1,0 +1,112 @@
+"""Unit tests for the tuple store (heap + indexes + event stream)."""
+
+import pytest
+
+from repro import HiddenDatabase, SchemaError
+from repro.hiddendb.store import TupleStore
+from repro.hiddendb.tuples import make_tuple
+
+
+@pytest.fixture
+def store(small_schema):
+    return TupleStore(small_schema)
+
+
+class TestHeap:
+    def test_insert_and_get(self, store):
+        t = make_tuple(1, [0, 1, 2], (5.0,))
+        store.insert(t)
+        assert len(store) == 1
+        assert store.get(1) is t
+        assert 1 in store
+
+    def test_duplicate_tid_rejected(self, store):
+        store.insert(make_tuple(1, [0, 0, 0]))
+        with pytest.raises(SchemaError):
+            store.insert(make_tuple(1, [1, 1, 1]))
+
+    def test_delete_returns_tuple(self, store):
+        t = make_tuple(2, [1, 0, 0])
+        store.insert(t)
+        assert store.delete(2) is t
+        assert 2 not in store
+
+    def test_delete_missing_raises(self, store):
+        with pytest.raises(KeyError):
+            store.delete(99)
+
+    def test_tuples_iteration(self, store):
+        for tid in range(5):
+            store.insert(make_tuple(tid, [0, 0, 0]))
+        assert {t.tid for t in store.tuples()} == set(range(5))
+
+
+class TestIndexes:
+    def test_ensure_index_backfills(self, store):
+        store.insert(make_tuple(0, [1, 2, 3]))
+        index = store.ensure_index((0, 1, 2))
+        assert index.count_prefix([1]) == 1
+
+    def test_indexes_track_mutations(self, store):
+        index = store.ensure_index((0, 1, 2))
+        store.insert(make_tuple(0, [1, 0, 0]))
+        store.insert(make_tuple(1, [1, 1, 0]))
+        assert index.count_prefix([1]) == 2
+        store.delete(0)
+        assert index.count_prefix([1]) == 1
+
+    def test_multiple_orders_stay_consistent(self, store):
+        first = store.ensure_index((0, 1, 2))
+        second = store.ensure_index((2, 1, 0))
+        store.insert(make_tuple(0, [1, 2, 3]))
+        assert first.count_prefix([1]) == 1
+        assert second.count_prefix([3]) == 1
+
+    def test_ensure_index_is_idempotent(self, store):
+        assert store.ensure_index((0, 1, 2)) is store.ensure_index((0, 1, 2))
+
+
+class TestReplace:
+    def test_replace_measures_only(self, store):
+        store.insert(make_tuple(0, [1, 1, 1], (5.0,)))
+        store.replace(make_tuple(0, [1, 1, 1], (9.0,)))
+        assert store.get(0).measures == (9.0,)
+        assert len(store) == 1
+
+    def test_replace_with_value_change_moves_indexes(self, store):
+        index = store.ensure_index((0, 1, 2))
+        store.insert(make_tuple(0, [0, 0, 0], (1.0,)))
+        store.replace(make_tuple(0, [1, 0, 0], (1.0,)))
+        assert index.count_prefix([0]) == 0
+        assert index.count_prefix([1]) == 1
+
+
+class TestEvents:
+    def test_listener_sees_inserts_and_deletes(self, store):
+        events = []
+        store.subscribe(lambda event, t: events.append((event, t.tid)))
+        store.insert(make_tuple(0, [0, 0, 0]))
+        store.delete(0)
+        assert events == [("insert", 0), ("delete", 0)]
+
+    def test_replace_emits_delete_then_insert(self, store):
+        events = []
+        store.insert(make_tuple(0, [0, 0, 0], (1.0,)))
+        store.subscribe(lambda event, t: events.append((event, t.measures[0])))
+        store.replace(make_tuple(0, [0, 0, 0], (2.0,)))
+        assert events == [("delete", 1.0), ("insert", 2.0)]
+
+
+class TestRandomTids:
+    def test_sample_size(self, small_db):
+        import random
+
+        sample = small_db.store.random_tids(random.Random(0), 10)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_sample_all_when_count_exceeds(self, small_db):
+        import random
+
+        sample = small_db.store.random_tids(random.Random(0), 10_000)
+        assert len(sample) == len(small_db)

@@ -1,0 +1,85 @@
+"""Unit tests for the synthetic data sources."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import SchemaError
+from repro.data import (
+    SyntheticSource,
+    skewed_source,
+    uniform_boolean_source,
+    uniform_weights,
+    zipf_weights,
+)
+
+
+class TestWeights:
+    def test_uniform_weights_sum_to_one(self):
+        assert uniform_weights(7).sum() == pytest.approx(1.0)
+
+    def test_zipf_weights_sum_to_one(self):
+        assert zipf_weights(10, 0.8).sum() == pytest.approx(1.0)
+
+    def test_zipf_weights_decreasing(self):
+        weights = zipf_weights(10, 0.8)
+        assert all(weights[i] >= weights[i + 1] for i in range(9))
+
+
+class TestSources:
+    def test_batch_size_and_distinctness(self):
+        source = uniform_boolean_source(8, seed=1)
+        payloads = source.batch(100)
+        values = [v for v, _ in payloads]
+        assert len(payloads) == 100
+        assert len(set(values)) == 100
+
+    def test_batch_without_distinctness(self):
+        source = uniform_boolean_source(2, seed=1)
+        payloads = source.batch(30, distinct=False)
+        assert len(payloads) == 30  # leaf space is only 4
+
+    def test_distinct_impossible_raises(self):
+        source = uniform_boolean_source(2, seed=1)
+        with pytest.raises(SchemaError):
+            source.batch(10)  # only 4 distinct vectors exist
+
+    def test_one_produces_valid_vector(self):
+        source = skewed_source([3, 4, 5], seed=2)
+        rng = random.Random(0)
+        for _ in range(50):
+            values, measures = source.one(rng)
+            source.schema.validate_values(values)
+            assert measures == ()
+
+    def test_measure_sampler_used(self):
+        source = skewed_source(
+            [4, 4],
+            measures=("m",),
+            measure_sampler=lambda rng: (42.0,),
+            seed=0,
+        )
+        values, measures = source.one(random.Random(0))
+        assert measures == (42.0,)
+
+    def test_measures_without_sampler_rejected(self):
+        with pytest.raises(SchemaError):
+            skewed_source([4], measures=("m",))
+
+    def test_weight_length_validated(self):
+        source = uniform_boolean_source(3)
+        with pytest.raises(SchemaError):
+            SyntheticSource(source.schema, [np.array([1.0])] * 3)
+
+    def test_skew_reflected_in_samples(self):
+        source = skewed_source([10], exponent=1.5, seed=3)
+        payloads = source.batch(2000, distinct=False)
+        first_value = sum(1 for v, _ in payloads if v[0] == 0)
+        last_value = sum(1 for v, _ in payloads if v[0] == 9)
+        assert first_value > 5 * max(last_value, 1)
+
+    def test_batches_reproducible_by_seed(self):
+        a = skewed_source([5, 5, 5], seed=11).batch(50)
+        b = skewed_source([5, 5, 5], seed=11).batch(50)
+        assert a == b

@@ -1,0 +1,86 @@
+"""Unit tests for the Theorem 3.2 / Eq. (16) calculators."""
+
+import pytest
+
+from repro.core.theory import (
+    reissue_beats_restart,
+    reissue_error_ratio_bound,
+    reissue_variance_ratio_no_change,
+    restart_expected_cost_lower_bound,
+)
+
+
+class TestDepthBound:
+    def test_basic_value(self):
+        # log(100000/100) / log(10) = 3.
+        assert restart_expected_cost_lower_bound(100_000, 100, 10) == (
+            pytest.approx(3.0)
+        )
+
+    def test_tiny_database_is_free(self):
+        assert restart_expected_cost_lower_bound(5, 10, 4) == 0.0
+
+    def test_monotone_in_n(self):
+        shallow = restart_expected_cost_lower_bound(10_000, 100, 10)
+        deep = restart_expected_cost_lower_bound(10_000_000, 100, 10)
+        assert deep > shallow
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            restart_expected_cost_lower_bound(0, 1, 2)
+        with pytest.raises(ValueError):
+            restart_expected_cost_lower_bound(10, 1, 1)
+
+
+class TestErrorRatioBound:
+    def test_below_one_for_large_deep_database(self):
+        bound = reissue_error_ratio_bound(1_000_000, 10_000, 100, [2] * 30)
+        assert bound < 1.0
+
+    def test_no_deletions_still_bounded(self):
+        bound = reissue_error_ratio_bound(1_000_000, 0, 100, [2] * 30)
+        assert bound > 0.0
+
+    def test_decreases_with_deletions(self):
+        light = reissue_error_ratio_bound(100_000, 1_000, 100, [4] * 20)
+        heavy = reissue_error_ratio_bound(100_000, 50_000, 100, [4] * 20)
+        assert heavy < light  # survival factor (1 - nd/n) dominates
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reissue_error_ratio_bound(10, 11, 1, [2])
+        with pytest.raises(ValueError):
+            reissue_error_ratio_bound(10, 1, 1, [])
+
+    def test_degenerate_small_database(self):
+        assert reissue_error_ratio_bound(5, 1, 10, [2, 2]) == 1.0
+
+
+class TestDecision:
+    def test_deep_database_favours_reissue(self):
+        assert reissue_beats_restart(1_000_000, 1_000, 100, [4] * 20)
+
+    def test_k1_shallow_regime_can_favour_restart(self):
+        """Figure 7's setting: k=1, shallow tree, heavy churn.
+
+        With one huge-fan-out level the expected fresh drill-down is barely
+        one query deep, and a 10% deletion rate makes the Theorem 3.2 bound
+        exceed 1 — the sufficient condition for REISSUE no longer holds.
+        """
+        assert not reissue_beats_restart(1_000, 100, 1, [900])
+        assert reissue_error_ratio_bound(1_000, 100, 1, [900]) > 1.0
+
+
+class TestNoChangeVarianceRatio:
+    def test_half_at_equal_counts(self):
+        """h1 = h = h' => ratio <= 0.5 regardless of h2 (§3.2.1)."""
+        for h2 in (1, 10, 1000):
+            ratio = reissue_variance_ratio_no_change(50, h2, 50, 50)
+            assert ratio <= 0.5
+
+    def test_zero_new_drilldowns(self):
+        assert reissue_variance_ratio_no_change(50, 0, 50, 50) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reissue_variance_ratio_no_change(0, 1, 1, 1)

@@ -1,0 +1,122 @@
+"""Unit tests for the query tree and drill-down signatures."""
+
+import random
+
+import pytest
+
+from repro import QueryError, QueryTree, TopKInterface
+
+
+class TestStructure:
+    def test_default_free_order(self, small_schema):
+        tree = QueryTree(small_schema)
+        assert tree.free_order == (0, 1, 2)
+        assert tree.max_depth == 3
+
+    def test_num_leaves(self, small_schema):
+        assert QueryTree(small_schema).num_leaves() == 24
+
+    def test_fixed_attributes_shrink_tree(self, small_schema):
+        tree = QueryTree(small_schema, fixed={1: 2})
+        assert tree.free_order == (0, 2)
+        assert tree.num_leaves() == 8
+
+    def test_fixed_out_of_range_value(self, small_schema):
+        with pytest.raises(QueryError):
+            QueryTree(small_schema, fixed={1: 9})
+
+    def test_fixed_out_of_range_attribute(self, small_schema):
+        with pytest.raises(QueryError):
+            QueryTree(small_schema, fixed={7: 0})
+
+    def test_custom_free_order(self, small_schema):
+        tree = QueryTree(small_schema, free_order=[2, 0, 1])
+        assert tree.free_order == (2, 0, 1)
+
+    def test_free_order_must_cover_non_fixed(self, small_schema):
+        with pytest.raises(QueryError):
+            QueryTree(small_schema, fixed={0: 1}, free_order=[1])
+        with pytest.raises(QueryError):
+            QueryTree(small_schema, fixed={0: 1}, free_order=[0, 1, 2])
+
+    def test_attr_order_puts_fixed_first(self, small_schema):
+        tree = QueryTree(small_schema, fixed={2: 1})
+        assert tree.attr_order == (2, 0, 1)
+
+
+class TestQueries:
+    def test_query_at_depth_zero_is_fixed_only(self, small_schema):
+        tree = QueryTree(small_schema, fixed={1: 2})
+        query = tree.query_at((0, 0), 0)
+        assert query.predicates == ((1, 2),)
+
+    def test_query_at_depth(self, small_schema):
+        tree = QueryTree(small_schema)
+        query = tree.query_at((1, 2, 3), 2)
+        assert query.predicates == ((0, 1), (1, 2))
+
+    def test_query_at_leaf(self, small_schema):
+        tree = QueryTree(small_schema)
+        query = tree.query_at((1, 2, 3), 3)
+        assert query.predicates == ((0, 1), (1, 2), (2, 3))
+
+    def test_query_at_bad_depth(self, small_schema):
+        tree = QueryTree(small_schema)
+        with pytest.raises(QueryError):
+            tree.query_at((0, 0, 0), 4)
+
+
+class TestProbabilities:
+    def test_root_probability_is_one(self, small_schema):
+        assert QueryTree(small_schema).selection_probability(0) == 1.0
+
+    def test_probability_by_depth(self, small_schema):
+        tree = QueryTree(small_schema)
+        assert tree.selection_probability(1) == pytest.approx(1 / 2)
+        assert tree.selection_probability(2) == pytest.approx(1 / 6)
+        assert tree.selection_probability(3) == pytest.approx(1 / 24)
+
+    def test_level_probabilities_sum_to_one(self, small_schema):
+        """Sum of p over all nodes at any level is 1 (unbiasedness core)."""
+        tree = QueryTree(small_schema)
+        for depth in range(tree.max_depth + 1):
+            count = 1
+            for i in range(depth):
+                count *= small_schema.attributes[tree.free_order[i]].size
+            assert count * tree.selection_probability(depth) == pytest.approx(1.0)
+
+    def test_subtree_probability_relative_to_subtree(self, small_schema):
+        tree = QueryTree(small_schema, fixed={0: 1})
+        assert tree.selection_probability(0) == 1.0
+        assert tree.selection_probability(2) == pytest.approx(1 / 12)
+
+
+class TestSignatures:
+    def test_random_signature_in_range(self, small_schema):
+        tree = QueryTree(small_schema)
+        rng = random.Random(0)
+        for _ in range(50):
+            signature = tree.random_signature(rng)
+            assert len(signature) == 3
+            for position, value in enumerate(signature):
+                size = small_schema.attributes[tree.free_order[position]].size
+                assert 0 <= value < size
+
+    def test_signatures_uniform_over_leaves(self, small_schema):
+        tree = QueryTree(small_schema)
+        rng = random.Random(7)
+        counts = {}
+        draws = 24 * 400
+        for _ in range(draws):
+            counts[tree.random_signature(rng)] = (
+                counts.get(tree.random_signature(rng), 0) + 1
+            )
+        # Every leaf hit, roughly evenly (loose 3x bound).
+        assert len(counts) == 24
+        assert max(counts.values()) < 3 * draws / 24
+
+    def test_register_creates_index(self, small_db):
+        interface = TopKInterface(small_db, k=5)
+        tree = QueryTree(small_db.schema, fixed={1: 0})
+        tree.register(interface)
+        assert tree.attr_order in small_db.store._indexes

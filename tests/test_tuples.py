@@ -1,0 +1,40 @@
+"""Unit tests for the tuple representation."""
+
+from repro.hiddendb.tuples import HiddenTuple, make_tuple
+
+
+class TestHiddenTuple:
+    def test_make_tuple(self):
+        t = make_tuple(7, [1, 0, 2], measures=(9.5,), score=0.3)
+        assert t.tid == 7
+        assert t.values == bytes([1, 0, 2])
+        assert t.measures == (9.5,)
+        assert t.score == 0.3
+
+    def test_value_accessor(self):
+        t = make_tuple(0, [1, 0, 2])
+        assert t.value(0) == 1
+        assert t.value(2) == 2
+
+    def test_measure_accessor(self):
+        t = make_tuple(0, [0], measures=(3.0, 4.0))
+        assert t.measure(1) == 4.0
+
+    def test_with_measures_preserves_identity(self):
+        t = make_tuple(5, [1, 1, 1], measures=(1.0,), score=0.9)
+        updated = t.with_measures((2.0,))
+        assert updated.tid == 5
+        assert updated.score == 0.9
+        assert updated.measures == (2.0,)
+        assert t.measures == (1.0,)  # original untouched
+
+    def test_describe(self, small_schema):
+        t = make_tuple(0, [1, 2, 0], measures=(12.5,))
+        described = t.describe(small_schema)
+        assert described == {
+            "color": "blue", "size": "l", "kind": "a", "price": 12.5,
+        }
+
+    def test_values_are_bytes(self):
+        t = HiddenTuple(0, bytes([0, 1]), (), 0.0)
+        assert isinstance(t.values, bytes)

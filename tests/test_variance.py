@@ -1,0 +1,88 @@
+"""Unit tests for the variance helpers."""
+
+import math
+
+import pytest
+
+from repro.core.variance import (
+    RunningStat,
+    combine_inverse_variance,
+    mean,
+    ratio_variance,
+    sample_variance,
+    variance_of_mean,
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_sample_variance_bessel(self):
+        assert sample_variance([1.0, 3.0]) == pytest.approx(2.0)
+
+    def test_sample_variance_small_samples(self):
+        assert sample_variance([]) == 0.0
+        assert sample_variance([5.0]) == 0.0
+
+    def test_variance_of_mean(self):
+        assert variance_of_mean([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_variance_of_mean_degenerate(self):
+        assert math.isinf(variance_of_mean([]))
+        assert math.isinf(variance_of_mean([4.0]))
+
+
+class TestCombination:
+    def test_equal_variances_average(self):
+        estimate, variance = combine_inverse_variance(
+            [(10.0, 2.0), (20.0, 2.0)]
+        )
+        assert estimate == pytest.approx(15.0)
+        assert variance == pytest.approx(1.0)
+
+    def test_weighting_favours_precision(self):
+        estimate, _ = combine_inverse_variance([(10.0, 1.0), (20.0, 100.0)])
+        assert estimate < 11.0
+
+    def test_skips_non_finite(self):
+        estimate, variance = combine_inverse_variance(
+            [(10.0, 1.0), (99.0, math.inf), (math.nan, 1.0)]
+        )
+        assert estimate == pytest.approx(10.0)
+        assert variance == pytest.approx(1.0)
+
+    def test_all_non_finite_raises(self):
+        with pytest.raises(ValueError):
+            combine_inverse_variance([(1.0, math.inf)])
+
+    def test_zero_variance_floored(self):
+        estimate, variance = combine_inverse_variance([(5.0, 0.0)])
+        assert estimate == 5.0
+        assert variance > 0
+
+
+class TestRatioVariance:
+    def test_zero_denominator(self):
+        assert math.isinf(ratio_variance(1.0, 1.0, 0.0, 1.0))
+
+    def test_shrinks_with_precision(self):
+        loose = ratio_variance(10.0, 4.0, 5.0, 4.0)
+        tight = ratio_variance(10.0, 1.0, 5.0, 1.0)
+        assert tight < loose
+
+
+class TestRunningStat:
+    def test_matches_batch_formulas(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+        stat = RunningStat()
+        for value in values:
+            stat.add(value)
+        assert stat.count == 6
+        assert stat.mean == pytest.approx(mean(values))
+        assert stat.variance == pytest.approx(sample_variance(values))
+
+    def test_empty(self):
+        stat = RunningStat()
+        assert math.isnan(stat.mean)
+        assert stat.variance == 0.0
