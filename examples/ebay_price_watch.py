@@ -10,7 +10,7 @@ Run:  python examples/ebay_price_watch.py
 
 import random
 
-from repro import ReissueEstimator, RsEstimator, TopKInterface, avg_measure
+from repro import RsEstimator, TopKInterface, avg_measure
 from repro.data import apply_round
 from repro.experiments import GroundTruthTracker, render_chart
 from repro.marketplace import ebay_watch_env

@@ -60,7 +60,11 @@ from .hiddendb import (
     QueryStatus,
     Schema,
     TopKInterface,
+    available_backends,
     boolean_schema,
+    get_default_backend,
+    set_default_backend,
+    using_backend,
 )
 
 __version__ = "1.0.0"
@@ -92,13 +96,17 @@ __all__ = [
     "SchemaError",
     "SizeChangeSpec",
     "TopKInterface",
+    "available_backends",
     "avg_measure",
     "boolean_schema",
     "count_all",
     "count_where",
+    "get_default_backend",
     "proportion_where",
     "running_average",
+    "set_default_backend",
     "size_change",
     "sum_measure",
+    "using_backend",
     "__version__",
 ]

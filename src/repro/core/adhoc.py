@@ -25,7 +25,6 @@ Two caveats carried over from the paper:
 from __future__ import annotations
 
 import math
-from typing import Sequence
 
 from ..errors import EstimationError
 from ..hiddendb.tuples import HiddenTuple

@@ -31,10 +31,19 @@ class UpdateSchedule(Protocol):
 def apply_round(
     db: HiddenDatabase, schedule: "UpdateSchedule", rng: random.Random
 ) -> int:
-    """Plan and apply a full round of updates; returns the mutation count."""
+    """Plan and apply a full round of updates; returns the mutation count.
+
+    The whole round is applied inside one :meth:`TupleStore.bulk` block:
+    no query runs between the mutations of a round boundary, so index
+    maintenance can be deferred and paid once per index for the entire
+    churn batch instead of per tuple.  (The intra-round driver, which does
+    interleave mutations with queries, applies thunks directly and keeps
+    per-mutation maintenance.)
+    """
     mutations = schedule.plan(db, rng)
-    for mutation in mutations:
-        mutation()
+    with db.store.bulk():
+        for mutation in mutations:
+            mutation()
     return len(mutations)
 
 

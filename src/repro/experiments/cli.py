@@ -4,6 +4,7 @@ Installed as ``repro-experiments``::
 
     repro-experiments list
     repro-experiments run fig02 --scale 0.1 --trials 3
+    repro-experiments run fig12 --backend packed
     repro-experiments run all --out results.txt
 """
 
@@ -14,6 +15,7 @@ import inspect
 import sys
 import time
 
+from ..hiddendb.backends import available_backends, using_backend
 from .figures import FIGURES
 
 
@@ -38,6 +40,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--budget", type=int, default=None,
                      help="per-round query budget G")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="storage backend for every simulated database "
+             "(default: the built-in blocked sorted list)",
+    )
     run.add_argument("--out", default=None, help="append output to a file")
     return parser
 
@@ -81,10 +90,11 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     targets = list(FIGURES) if args.figure == "all" else [args.figure]
     chunks = []
-    for figure_id in targets:
-        text = _run_one(figure_id, args)
-        print(text)
-        chunks.append(text)
+    with using_backend(args.backend):
+        for figure_id in targets:
+            text = _run_one(figure_id, args)
+            print(text)
+            chunks.append(text)
     if args.out:
         with open(args.out, "a", encoding="utf-8") as handle:
             handle.write("\n".join(chunks))

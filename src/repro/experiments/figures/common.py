@@ -52,6 +52,7 @@ class FigureResult:
         series: Mapping[str, Sequence[float]],
         notes: str = "",
         log_y: bool = False,
+        meta: Mapping[str, object] | None = None,
     ):
         self.figure_id = figure_id
         self.title = title
@@ -61,6 +62,9 @@ class FigureResult:
         self.series = {name: list(values) for name, values in series.items()}
         self.notes = notes
         self.log_y = log_y
+        # Machine-readable extras (query counts, backend, ...) consumed by
+        # the benchmark harness's BENCH_*.json emitter.
+        self.meta = dict(meta) if meta else {}
 
     def table(self) -> str:
         headers = [self.x_label] + list(self.series)
@@ -107,6 +111,7 @@ def autos_env_factory(
     initial: int = AUTOS_DEFAULT_INITIAL,
     total: int = AUTOS_TOTAL_TUPLES,
     num_attributes: int | None = None,
+    backend: str | None = None,
 ) -> Callable[[int], tuple[HiddenDatabase, UpdateSchedule]]:
     """Environment factory for the scaled Yahoo! Autos default workload."""
     n_total = max(20, int(round(total * scale)))
@@ -121,9 +126,8 @@ def autos_env_factory(
             schema, payloads = _truncate_attributes(
                 schema, payloads, num_attributes
             )
-        db = HiddenDatabase(schema)
-        for values, measures in payloads[:n_initial]:
-            db.insert(values, measures)
+        db = HiddenDatabase(schema, backend=backend)
+        db.insert_many(payloads[:n_initial])
         schedule = SnapshotPoolSchedule(
             payloads[n_initial:],
             inserts_per_round=n_inserts,
@@ -168,6 +172,7 @@ def run_three_way(
     estimators: Sequence[EstimatorFactory] | None = None,
     seed: int = 0,
     intra_round: bool = False,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Run one experiment comparing estimators (default: all three)."""
     experiment = Experiment(
@@ -181,6 +186,7 @@ def run_three_way(
         estimators=estimators or default_estimators(),
         base_seed=seed,
         intra_round=intra_round,
+        backend=backend,
     )
     return experiment.run()
 
@@ -207,4 +213,10 @@ def error_series_figure(
         series=series,
         notes=notes,
         log_y=log_y,
+        meta={
+            "mean_queries_per_round": {
+                estimator: result.mean_queries_per_round(estimator)
+                for estimator in result.estimator_names
+            },
+        },
     )

@@ -218,8 +218,7 @@ def run_fig12(
         def factory(seed_: int, n=n):
             source = skewed_source(domain_sizes, exponent=0.4, seed=seed_)
             db = HiddenDatabase(source.schema)
-            for values, measures in source.batch(n):
-                db.insert(values, measures)
+            db.insert_many(source.batch(n))
             from ...data.schedules import FreshTupleSchedule
 
             schedule = FreshTupleSchedule(

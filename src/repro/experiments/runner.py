@@ -14,12 +14,13 @@ counts.  Two update models are supported:
 from __future__ import annotations
 
 import random
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Sequence
 
 from ..core.aggregates import AnySpec, base_specs_of
 from ..core.estimators import ESTIMATOR_CLASSES, EstimatorBase
 from ..data.schedules import IntraRoundDriver, UpdateSchedule, apply_round
 from ..errors import ExperimentError
+from ..hiddendb.backends import using_backend
 from ..hiddendb.database import HiddenDatabase
 from ..hiddendb.interface import TopKInterface
 from ..hiddendb.schema import Schema
@@ -85,6 +86,7 @@ class Experiment:
         estimators: Sequence[EstimatorFactory] | None = None,
         base_seed: int = 0,
         intra_round: bool = False,
+        backend: str | None = None,
     ):
         if rounds < 1 or trials < 1:
             raise ExperimentError("rounds and trials must be positive")
@@ -100,12 +102,17 @@ class Experiment:
         )
         self.base_seed = base_seed
         self.intra_round = intra_round
+        # Storage backend every trial's database is built with (None keeps
+        # whatever default is active when the environment factory runs).
+        self.backend = backend
+
+    def _build_env(self, seed: int) -> Env:
+        with using_backend(self.backend):
+            return self.env_factory(seed)
 
     # ------------------------------------------------------------------
     def run(self) -> ExperimentResult:
         """Execute all trials and return the collected result."""
-        first_env = None
-        spec_names: list[str] = []
         result: ExperimentResult | None = None
         for trial in range(self.trials):
             seed = self.base_seed + 1000 * trial
@@ -132,7 +139,7 @@ class Experiment:
     def _run_trial_round(
         self, seed: int, trial: int, result: ExperimentResult | None
     ) -> ExperimentResult:
-        db, schedule = self.env_factory(seed)
+        db, schedule = self._build_env(seed)
         specs = list(self.specs_factory(db.schema))
         if result is None:
             result = self._make_result(specs)
@@ -171,7 +178,7 @@ class Experiment:
         specs_for_result: Sequence[AnySpec] | None = None
         round_ids: list[int] = []
         for index, factory in enumerate(self.estimators):
-            db, schedule = self.env_factory(seed)
+            db, schedule = self._build_env(seed)
             specs = list(self.specs_factory(db.schema))
             specs_for_result = specs
             interface = TopKInterface(db, self.k)

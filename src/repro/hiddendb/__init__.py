@@ -4,6 +4,16 @@ Public surface: schemas and tuples, the dynamic database, its restrictive
 top-k search interface, and budgeted query sessions.
 """
 
+from .backends import (
+    PackedArrayBackend,
+    StorageBackend,
+    available_backends,
+    get_default_backend,
+    make_backend,
+    register_backend,
+    set_default_backend,
+    using_backend,
+)
 from .database import HiddenDatabase
 from .interface import TopKInterface
 from .query import ConjunctiveQuery
@@ -20,6 +30,7 @@ __all__ = [
     "HiddenDatabase",
     "HiddenTuple",
     "MeasureScore",
+    "PackedArrayBackend",
     "PrefixIndex",
     "QueryResult",
     "QuerySession",
@@ -28,8 +39,15 @@ __all__ = [
     "RecencyScore",
     "Schema",
     "SortedKeyList",
+    "StorageBackend",
     "TopKInterface",
     "TupleStore",
+    "available_backends",
     "boolean_schema",
+    "get_default_backend",
+    "make_backend",
     "make_tuple",
+    "register_backend",
+    "set_default_backend",
+    "using_backend",
 ]

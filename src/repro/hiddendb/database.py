@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
+from .backends import DEFAULT_BLOCK_SIZE
 from .ranking import RandomScore, RankingPolicy
 from .schema import Schema
 from .store import TupleStore
@@ -22,19 +23,30 @@ from .tuples import HiddenTuple
 
 
 class HiddenDatabase:
-    """A dynamic hidden web database with round semantics."""
+    """A dynamic hidden web database with round semantics.
+
+    ``backend`` selects the storage engine behind every prefix index
+    (``None`` = the process-wide default, see
+    :mod:`repro.hiddendb.backends`).
+    """
 
     def __init__(
         self,
         schema: Schema,
         ranking: RankingPolicy | None = None,
-        block_size: int = 1024,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        backend: str | None = None,
     ):
         self.schema = schema
         self.ranking = ranking if ranking is not None else RandomScore()
-        self.store = TupleStore(schema, block_size=block_size)
+        self.store = TupleStore(schema, block_size=block_size, backend=backend)
         self._round = 1
         self._next_tid = 0
+
+    @property
+    def backend(self) -> str:
+        """Name of the storage backend behind this database's indexes."""
+        return self.store.backend_name
 
     # ------------------------------------------------------------------
     # Round bookkeeping
@@ -94,11 +106,32 @@ class HiddenDatabase:
 
     def bulk_load(self, tuples: Iterable[HiddenTuple]) -> int:
         """Insert many pre-built tuples; returns how many were loaded."""
-        count = 0
-        for t in tuples:
-            self.insert_tuple(t)
-            count += 1
+        with self.store.bulk():
+            count = 0
+            for t in tuples:
+                self.insert_tuple(t)
+                count += 1
         return count
+
+    def insert_many(
+        self, rows: Iterable[tuple[bytes | Sequence[int], Sequence[float]]]
+    ) -> int:
+        """Insert many ``(values, measures)`` payloads in one index merge.
+
+        Semantically identical to calling :meth:`insert` per row (same tid
+        allocation, same ranking-policy score stream) but the indexes are
+        brought up to date with one bulk merge for the whole batch.
+        """
+        count = 0
+        with self.store.bulk():
+            for values, measures in rows:
+                self.insert(values, measures)
+                count += 1
+        return count
+
+    def bulk_delete(self, tids: Iterable[int]) -> list[HiddenTuple]:
+        """Delete many tuples by id in one index merge; returns them."""
+        return self.store.bulk_delete(tids)
 
     # ------------------------------------------------------------------
     # Introspection (simulator-side only; NOT visible to estimators)

@@ -45,6 +45,11 @@ class QuerySession:
         return self.interface.k
 
     @property
+    def backend(self) -> str:
+        """Storage backend serving this session (simulator-side metadata)."""
+        return self.interface.backend
+
+    @property
     def remaining(self) -> int | None:
         """Queries left in the budget (None = unlimited)."""
         if self.budget is None:

@@ -1,4 +1,4 @@
-"""Storage engine for the hidden database simulator.
+"""Storage layer of the hidden database simulator.
 
 The drill-down estimators issue only *prefix conjunctions*: with attributes
 ordered ``Ao1, Ao2, ...`` a query-tree node at depth ``d`` fixes the first
@@ -13,23 +13,38 @@ Components:
 * :class:`SortedKeyList` — a blocked sorted list of integers (the same idea
   as ``sortedcontainers.SortedList``, reimplemented because this environment
   is offline): O(sqrt n) insert/delete, O(log n + #blocks) positional rank.
-* :class:`PrefixIndex` — mixed-radix key codec plus a ``SortedKeyList`` for
-  one attribute order.
+  Registered as the ``"blocked"`` storage backend (the default).
+* :class:`PrefixIndex` — mixed-radix key codec over one attribute order,
+  backed by any :class:`~repro.hiddendb.backends.StorageBackend`.
 * :class:`TupleStore` — the tuple heap plus any number of prefix indexes,
-  with a mutation-event stream for ground-truth observers.
+  with a mutation-event stream for ground-truth observers, bulk
+  insert/delete, and a deferred-maintenance :meth:`TupleStore.bulk` context
+  so churn rounds pay one index merge instead of per-tuple upkeep.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, insort
+from contextlib import contextmanager
 from typing import Callable, Iterable, Iterator, Sequence
 
 from ..errors import SchemaError
+from .backends import (
+    DEFAULT_BLOCK_SIZE,
+    StorageBackend,
+    make_backend,
+    register_backend,
+    resolve_backend,
+)
 from .schema import Schema
 from .tuples import HiddenTuple
 
-#: Target number of keys per block; blocks split at twice this size.
-DEFAULT_BLOCK_SIZE = 1024
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "PrefixIndex",
+    "SortedKeyList",
+    "TupleStore",
+]
 
 
 class SortedKeyList:
@@ -51,16 +66,7 @@ class SortedKeyList:
         block_size: int = DEFAULT_BLOCK_SIZE,
     ):
         self._block_size = block_size
-        self._blocks: list[list[int]] = []
-        self._maxes: list[int] = []
-        self._size = 0
-        initial = sorted(keys)
-        if initial:
-            for start in range(0, len(initial), block_size):
-                block = initial[start : start + block_size]
-                self._blocks.append(block)
-                self._maxes.append(block[-1])
-            self._size = len(initial)
+        self._rebuild(sorted(keys))
 
     def __len__(self) -> int:
         return self._size
@@ -111,6 +117,62 @@ class SortedKeyList:
         else:
             del self._blocks[block_index]
             del self._maxes[block_index]
+
+    def bulk_add(self, keys: Iterable[int]) -> None:
+        """Insert a batch of keys with one rebuild instead of n insorts.
+
+        Large batches (at least a quarter of the current size) rebuild the
+        block structure from a single merge-sort; small batches fall back to
+        per-key insertion, which keeps amortized cost below a rebuild.
+        """
+        batch = sorted(keys)
+        if not batch:
+            return
+        if len(batch) * 4 < self._size:
+            for key in batch:
+                self.add(key)
+            return
+        merged = list(self)
+        merged.extend(batch)
+        merged.sort()
+        self._rebuild(merged)
+
+    def bulk_remove(self, keys: Iterable[int]) -> None:
+        """Remove a batch of keys; raise ``ValueError`` if any is absent.
+
+        Mirrors :meth:`bulk_add`: large batches rebuild once, small batches
+        delegate to per-key removal.
+        """
+        batch = sorted(keys)
+        if not batch:
+            return
+        if len(batch) * 4 < self._size:
+            for key in batch:
+                self.remove(key)
+            return
+        survivors: list[int] = []
+        batch_position = 0
+        batch_length = len(batch)
+        for key in self:
+            if batch_position < batch_length and batch[batch_position] == key:
+                batch_position += 1
+                continue
+            survivors.append(key)
+        if batch_position != batch_length:
+            raise ValueError(
+                f"key {batch[batch_position]} not in SortedKeyList"
+            )
+        self._rebuild(survivors)
+
+    def _rebuild(self, sorted_keys: list[int]) -> None:
+        """Replace the contents with an already-sorted key list."""
+        self._blocks = []
+        self._maxes = []
+        for start in range(0, len(sorted_keys), self._block_size):
+            block = sorted_keys[start : start + self._block_size]
+            self._blocks.append(block)
+            self._maxes.append(block[-1])
+        self._size = len(sorted_keys)
 
     def __contains__(self, key: int) -> bool:
         block_index = self._locate_block(key)
@@ -170,6 +232,14 @@ class SortedKeyList:
         assert total == self._size, "size counter out of sync"
 
 
+register_backend(
+    "blocked",
+    lambda block_size=DEFAULT_BLOCK_SIZE, key_bound=None: SortedKeyList(
+        block_size=block_size
+    ),
+)
+
+
 class PrefixIndex:
     """Mixed-radix key index over one attribute order.
 
@@ -182,9 +252,14 @@ class PrefixIndex:
     where ``span_d`` is the product of the remaining radices times
     ``TID_SPAN``.  Python's arbitrary-precision integers make this exact for
     any number of attributes.
+
+    The key multiset lives in a pluggable
+    :class:`~repro.hiddendb.backends.StorageBackend` selected by name
+    (``None`` = the process-wide default).
     """
 
-    __slots__ = ("attr_order", "_radices", "_spans", "_tid_span", "_keys")
+    __slots__ = ("attr_order", "backend_name", "_radices", "_spans",
+                 "_tid_span", "_keys")
 
     def __init__(
         self,
@@ -192,6 +267,7 @@ class PrefixIndex:
         attr_order: Sequence[int],
         tid_span: int = 2**48,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        backend: str | None = None,
     ):
         order = tuple(attr_order)
         if sorted(order) != list(range(schema.num_attributes)):
@@ -207,7 +283,10 @@ class PrefixIndex:
             spans.append(spans[-1] * radix)
         spans.reverse()  # spans[d] for d in 0..m
         self._spans = tuple(spans)
-        self._keys = SortedKeyList(block_size=block_size)
+        self.backend_name = resolve_backend(backend)
+        self._keys: StorageBackend = make_backend(
+            self.backend_name, block_size=block_size, key_bound=self._spans[0]
+        )
 
     @property
     def depth(self) -> int:
@@ -242,6 +321,14 @@ class PrefixIndex:
     def remove(self, t: HiddenTuple) -> None:
         self._keys.remove(self.encode(t))
 
+    def bulk_add(self, tuples: Iterable[HiddenTuple]) -> None:
+        """Index a batch of tuples with one backend merge."""
+        self._keys.bulk_add([self.encode(t) for t in tuples])
+
+    def bulk_remove(self, tuples: Iterable[HiddenTuple]) -> None:
+        """Unindex a batch of tuples with one backend merge."""
+        self._keys.bulk_remove([self.encode(t) for t in tuples])
+
     def count_prefix(self, prefix_values: Sequence[int]) -> int:
         """Number of stored tuples matching the prefix."""
         lo, hi = self.prefix_range(prefix_values)
@@ -264,14 +351,30 @@ class TupleStore:
     Listeners registered via :meth:`subscribe` receive
     ``("insert", tuple)`` / ``("delete", tuple)`` events, which is how the
     experiment harness maintains exact ground truth in O(1) per mutation.
+
+    All prefix indexes share one storage backend, chosen at construction
+    (``backend=None`` picks the process-wide default).  Inside a
+    :meth:`bulk` block, per-mutation index maintenance is deferred and the
+    buffered batch is applied with one ``bulk_add``/``bulk_remove`` per
+    index when the block exits; the tuple heap and the listener stream stay
+    exact throughout, so only *index reads* must wait for the block to end.
     """
 
-    def __init__(self, schema: Schema, block_size: int = DEFAULT_BLOCK_SIZE):
+    def __init__(
+        self,
+        schema: Schema,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        backend: str | None = None,
+    ):
         self.schema = schema
+        self.backend_name = resolve_backend(backend)
         self._block_size = block_size
         self._tuples: dict[int, HiddenTuple] = {}
         self._indexes: dict[tuple[int, ...], PrefixIndex] = {}
         self._listeners: list[Callable[[str, HiddenTuple], None]] = []
+        self._bulk_depth = 0
+        self._pending_add: list[HiddenTuple] = []
+        self._pending_del: list[HiddenTuple] = []
 
     def __len__(self) -> int:
         return len(self._tuples)
@@ -295,9 +398,16 @@ class TupleStore:
         key = tuple(attr_order)
         index = self._indexes.get(key)
         if index is None:
-            index = PrefixIndex(self.schema, key, block_size=self._block_size)
-            for t in self._tuples.values():
-                index.add(t)
+            # A new index built mid-bulk must not re-apply the buffered
+            # mutations its backfill already covers.
+            self._flush_pending()
+            index = PrefixIndex(
+                self.schema,
+                key,
+                block_size=self._block_size,
+                backend=self.backend_name,
+            )
+            index.bulk_add(self._tuples.values())
             self._indexes[key] = index
         return index
 
@@ -306,19 +416,72 @@ class TupleStore:
         if t.tid in self._tuples:
             raise SchemaError(f"duplicate tid {t.tid}")
         self._tuples[t.tid] = t
-        for index in self._indexes.values():
-            index.add(t)
+        if self._bulk_depth:
+            self._pending_add.append(t)
+        else:
+            for index in self._indexes.values():
+                index.add(t)
         for listener in self._listeners:
             listener("insert", t)
 
     def delete(self, tid: int) -> HiddenTuple:
         """Delete by tid and return the removed tuple."""
         t = self._tuples.pop(tid)
-        for index in self._indexes.values():
-            index.remove(t)
+        if self._bulk_depth:
+            self._pending_del.append(t)
+        else:
+            for index in self._indexes.values():
+                index.remove(t)
         for listener in self._listeners:
             listener("delete", t)
         return t
+
+    # ------------------------------------------------------------------
+    # Bulk operations
+    # ------------------------------------------------------------------
+    @contextmanager
+    def bulk(self):
+        """Defer index maintenance for a batch of mutations.
+
+        Mutations inside the block update the heap and fire listener events
+        immediately; prefix indexes are brought up to date in one
+        ``bulk_add``/``bulk_remove`` pass when the outermost block exits.
+        Index-backed queries issued *inside* the block would see stale
+        counts — the simulator only mutates between queries, so no such
+        read exists in any supported workload.
+        """
+        self._bulk_depth += 1
+        try:
+            yield self
+        finally:
+            self._bulk_depth -= 1
+            if self._bulk_depth == 0:
+                self._flush_pending()
+
+    def _flush_pending(self) -> None:
+        if not self._pending_add and not self._pending_del:
+            return
+        adds, dels = self._pending_add, self._pending_del
+        self._pending_add, self._pending_del = [], []
+        for index in self._indexes.values():
+            if adds:
+                index.bulk_add(adds)
+            if dels:
+                index.bulk_remove(dels)
+
+    def bulk_insert(self, tuples: Iterable[HiddenTuple]) -> int:
+        """Insert many tuples, paying one index merge for the whole batch."""
+        count = 0
+        with self.bulk():
+            for t in tuples:
+                self.insert(t)
+                count += 1
+        return count
+
+    def bulk_delete(self, tids: Iterable[int]) -> list[HiddenTuple]:
+        """Delete many tids, paying one index merge for the whole batch."""
+        with self.bulk():
+            return [self.delete(tid) for tid in tids]
 
     def replace(self, t: HiddenTuple) -> None:
         """Swap the stored tuple with the same tid (measure updates)."""

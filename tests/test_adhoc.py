@@ -1,6 +1,5 @@
 """Tests for the ad-hoc (retroactive) query archive (§5.1)."""
 
-import math
 import random
 
 import pytest
@@ -15,7 +14,6 @@ from repro import (
     count_where,
     sum_measure,
 )
-from repro.core.adhoc import DrillDownArchive
 from repro.data import autos_snapshot, SnapshotPoolSchedule, apply_round
 
 

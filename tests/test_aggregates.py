@@ -1,8 +1,6 @@
 """Unit tests for aggregate specifications and contribution math."""
 
 import math
-import random
-
 import pytest
 
 from repro import (

@@ -1,7 +1,5 @@
 """Unit tests for the Yahoo! Autos surrogate."""
 
-import pytest
-
 from repro.data import (
     AUTOS_DOMAIN_SIZES,
     AUTOS_TOTAL_TUPLES,

@@ -1,7 +1,5 @@
 """Unit tests for the experiments CLI."""
 
-import pytest
-
 from repro.experiments.cli import main
 
 

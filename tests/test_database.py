@@ -1,7 +1,5 @@
 """Unit tests for the dynamic hidden database wrapper."""
 
-import pytest
-
 from repro import HiddenDatabase
 from repro.hiddendb.ranking import MeasureScore, RecencyScore
 

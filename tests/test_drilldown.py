@@ -6,8 +6,6 @@ database state — from ANY starting depth.  That equality is what keeps
 Theorem 3.1's unbiasedness intact across rounds.
 """
 
-import random
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -7,16 +7,12 @@ from pathlib import Path
 import pytest
 
 from repro import (
-    HiddenDatabase,
-    ReissueEstimator,
     RestartEstimator,
     RsEstimator,
-    TopKInterface,
     count_all,
     running_average,
 )
 from repro.core.estimators.base import DrillDownRecord
-from repro.data import autos_snapshot
 from repro.experiments.figures.common import (
     FigureResult,
     autos_env_factory,

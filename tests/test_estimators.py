@@ -16,11 +16,9 @@ from repro import (
     count_all,
     count_where,
     size_change,
-    sum_measure,
 )
 from repro.core.estimators.base import shared_pushdown
 from repro.data import autos_snapshot, SnapshotPoolSchedule, apply_round
-from tests.conftest import fill_random
 
 ALL_ESTIMATORS = (RestartEstimator, ReissueEstimator, RsEstimator)
 

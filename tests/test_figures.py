@@ -7,8 +7,6 @@ representative scale and assert the paper's shapes.
 
 import math
 
-import pytest
-
 from repro.experiments.figures import (
     FIGURES,
     run_ablation_attr_order,

@@ -6,7 +6,6 @@ import random
 import pytest
 
 from repro import (
-    HiddenDatabase,
     avg_measure,
     count_all,
     count_where,

@@ -6,7 +6,7 @@ import pytest
 
 from repro.data import apply_round
 from repro.marketplace import amazon_watch_env, ebay_watch_env, watch_schema
-from repro.marketplace.ebay import BID_VALUE, FIX_VALUE, FORMAT_ATTR_INDEX
+from repro.marketplace.ebay import BID_VALUE, FORMAT_ATTR_INDEX
 
 
 class TestSchema:

@@ -91,6 +91,74 @@ class TestBasics:
         assert list(keys) == sorted(reference)
 
 
+class TestEdgeCases:
+    def test_split_exactly_at_twice_block_size(self):
+        """A block holds up to 2*block_size keys and splits on the next add."""
+        block_size = 4
+        keys = SortedKeyList(block_size=block_size)
+        for value in range(2 * block_size):
+            keys.add(value)
+        assert len(keys._blocks) == 1
+        assert len(keys._blocks[0]) == 2 * block_size
+        keys.add(2 * block_size)  # 2*block_size + 1 keys -> split
+        assert len(keys._blocks) == 2
+        keys.check_invariants()
+        assert list(keys) == list(range(2 * block_size + 1))
+
+    def test_remove_empties_middle_block(self):
+        """Draining an interior block removes it without orphaning maxes."""
+        block_size = 4
+        keys = SortedKeyList(range(3 * block_size), block_size=block_size)
+        assert len(keys._blocks) == 3
+        for value in range(block_size, 2 * block_size):
+            keys.remove(value)
+        assert len(keys._blocks) == 2
+        keys.check_invariants()
+        expected = list(range(block_size)) + list(
+            range(2 * block_size, 3 * block_size)
+        )
+        assert list(keys) == expected
+        # Rank across the removed span stays consistent.
+        assert keys.rank(2 * block_size) == block_size
+
+    def test_iter_range_half_open_boundaries(self):
+        """iter_range includes lo, excludes hi, duplicates intact."""
+        keys = SortedKeyList([10, 10, 20, 20, 30], block_size=2)
+        assert list(keys.iter_range(10, 30)) == [10, 10, 20, 20]
+        assert list(keys.iter_range(10, 31)) == [10, 10, 20, 20, 30]
+        assert list(keys.iter_range(11, 30)) == [20, 20]
+        assert list(keys.iter_range(10, 10)) == []
+        assert keys.count_range(10, 30) == 4
+
+    def test_bulk_add_small_and_rebuild_paths(self):
+        keys = SortedKeyList(range(0, 100, 2), block_size=8)
+        keys.bulk_add([1, 3, 5])  # small batch: insertion path
+        keys.check_invariants()
+        keys.bulk_add(range(101, 200))  # large batch: rebuild path
+        keys.check_invariants()
+        expected = sorted(
+            list(range(0, 100, 2)) + [1, 3, 5] + list(range(101, 200))
+        )
+        assert list(keys) == expected
+
+    def test_bulk_remove_small_and_rebuild_paths(self):
+        values = list(range(100))
+        keys = SortedKeyList(values, block_size=8)
+        keys.bulk_remove([0, 99])  # small batch: per-key path
+        keys.check_invariants()
+        keys.bulk_remove(range(1, 60))  # large batch: rebuild path
+        keys.check_invariants()
+        assert list(keys) == list(range(60, 99))
+
+    def test_bulk_remove_missing_raises(self):
+        keys = SortedKeyList([1, 2, 3], block_size=4)
+        with pytest.raises(ValueError):
+            keys.bulk_remove([1, 2, 3, 4])
+        keys = SortedKeyList(range(100), block_size=4)
+        with pytest.raises(ValueError):
+            keys.bulk_remove(list(range(90)) + [1000])
+
+
 @settings(max_examples=200, deadline=None)
 @given(
     st.lists(

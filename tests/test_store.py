@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import HiddenDatabase, SchemaError
+from repro import SchemaError
 from repro.hiddendb.store import TupleStore
 from repro.hiddendb.tuples import make_tuple
 
