@@ -12,6 +12,10 @@ Environment knobs:
 * ``REPRO_BENCH_TRIALS``  — trials to average per experiment (default 2)
 * ``REPRO_BENCH_BACKEND`` — storage backend for every simulated database
   (``blocked`` | ``packed``; default: the package default, ``blocked``)
+* ``REPRO_DATA_PLANE``    — tuple pipeline used for bulk loads
+  (``vectorized`` | ``scalar``; default ``vectorized``).  The scalar plane
+  is the per-tuple reference path; CI keeps timing it so the two stay
+  comparable across commits.
 
 Each run additionally drops a machine-readable ``BENCH_<figure>.json``
 next to the working directory (wall time, backend, query counts, series)
@@ -29,6 +33,7 @@ from pathlib import Path
 import pytest
 
 from repro.hiddendb.backends import get_default_backend, set_default_backend
+from repro.hiddendb.store import get_data_plane
 
 #: Fraction of the paper's dataset sizes used by default.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
@@ -73,6 +78,7 @@ def _write_bench_json(request, figure, wall_seconds: float) -> None:
         "test": request.node.name,
         "figure_id": getattr(figure, "figure_id", None),
         "backend": get_default_backend(),
+        "data_plane": get_data_plane(),
         "scale": BENCH_SCALE,
         "trials": BENCH_TRIALS,
         "wall_seconds": round(wall_seconds, 3),

@@ -26,9 +26,11 @@ from __future__ import annotations
 
 from typing import Callable, Mapping
 
+import numpy as np
+
 from ..errors import SchemaError
 from ..hiddendb.schema import Schema
-from ..hiddendb.tuples import HiddenTuple
+from ..hiddendb.tuples import HiddenTuple, TupleBatch
 from .drilldown import DrillOutcome
 from .tree import QueryTree
 
@@ -37,6 +39,9 @@ TuplePredicate = Callable[[HiddenTuple], bool]
 
 #: Per-tuple value function for SUM aggregates.
 TupleFunction = Callable[[HiddenTuple], float]
+
+#: Optional columnar twin of ``f``: per-row values of a whole batch.
+ColumnFunction = Callable[[TupleBatch], np.ndarray]
 
 
 class AggregateSpec:
@@ -53,6 +58,11 @@ class AggregateSpec:
     interface_predicates:
         ``{attr_index: value_index}`` equality predicates that estimators
         may push into the query tree.
+    column_f:
+        Optional columnar twin of ``f`` (batch -> per-row value vector).
+        When present and there is no residual ``selection``, exact ground
+        truth over columnar heap segments is computed without
+        materializing tuples.
     """
 
     def __init__(
@@ -61,6 +71,7 @@ class AggregateSpec:
         f: TupleFunction,
         selection: TuplePredicate | None = None,
         interface_predicates: Mapping[int, int] | None = None,
+        column_f: ColumnFunction | None = None,
     ):
         self.name = name
         self.f = f
@@ -68,6 +79,7 @@ class AggregateSpec:
         self.interface_predicates = (
             dict(interface_predicates) if interface_predicates else {}
         )
+        self.column_f = column_f
 
     # -- evaluation over tuples ----------------------------------------
     def tuple_value(self, t: HiddenTuple) -> float:
@@ -115,8 +127,50 @@ class AggregateSpec:
             )
         return total / tree.selection_probability(outcome.depth)
 
+    def batch_total(self, batch: TupleBatch, start: float = 0.0) -> float:
+        """Exact contribution of a columnar batch (columnar specs only).
+
+        ``start`` is folded in as the first accumulation term, and the
+        rows are accumulated strictly left to right (cumsum), so chaining
+        ``batch_total`` over heap segments reproduces the scalar plane's
+        single sequential Python sum bit for bit (numpy's pairwise
+        ``.sum()``, or summing per-segment subtotals, would not).
+        """
+        if self.column_f is None or self.selection is not None:
+            raise SchemaError(
+                f"spec {self.name!r} has no columnar evaluation"
+            )
+        values = np.asarray(self.column_f(batch), dtype=np.float64)
+        if self.interface_predicates:
+            mask = np.ones(len(batch), dtype=bool)
+            for attr_index, value_index in self.interface_predicates.items():
+                mask &= batch.values[:, attr_index] == value_index
+            values = values[mask]
+        if not len(values):
+            return start
+        return float(np.cumsum(np.concatenate(((start,), values)))[-1])
+
     def ground_truth(self, db) -> float:
-        """Exact value by full scan (simulator-side only)."""
+        """Exact value by full scan (simulator-side only).
+
+        Columnar specs sum frozen heap blocks vectorized and only fall
+        back to per-tuple evaluation for the scalar remainder; the
+        accumulation order matches the per-tuple scan exactly.
+        """
+        store = getattr(db, "store", None)
+        if (
+            self.column_f is not None
+            and self.selection is None
+            and store is not None
+            and hasattr(store, "segments")
+        ):
+            batches, rest = store.segments()
+            total = 0.0
+            for batch in batches:
+                total = self.batch_total(batch, total)
+            for t in rest:
+                total += self.full_tuple_value(t)
+            return total
         return sum(self.full_tuple_value(t) for t in db.tuples())
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
@@ -200,9 +254,13 @@ def _pushdown_from_labels(
     return predicates
 
 
+def _ones_column(batch: TupleBatch) -> np.ndarray:
+    return np.ones(len(batch), dtype=np.float64)
+
+
 def count_all(name: str = "count") -> AggregateSpec:
     """COUNT(*) over the whole database."""
-    return AggregateSpec(name, f=lambda t: 1.0)
+    return AggregateSpec(name, f=lambda t: 1.0, column_f=_ones_column)
 
 
 def count_where(
@@ -217,7 +275,7 @@ def count_where(
         name = "count_" + "_".join(f"{k}={v}" for k, v in where.items())
     return AggregateSpec(
         name, f=lambda t: 1.0, selection=selection,
-        interface_predicates=predicates,
+        interface_predicates=predicates, column_f=_ones_column,
     )
 
 
@@ -238,6 +296,7 @@ def sum_measure(
         f=lambda t: t.measure(measure_index),
         selection=selection,
         interface_predicates=predicates,
+        column_f=lambda batch: batch.measures[:, measure_index],
     )
 
 

@@ -128,13 +128,33 @@ class FreshTupleSchedule:
 
     def plan(self, db: HiddenDatabase, rng: random.Random) -> list[Mutation]:
         mutations: list[Mutation] = []
-        for _ in range(self.inserts_per_round):
+        batch_columns = getattr(self.source, "batch_columns", None)
+        if self.inserts_per_round and batch_columns is not None:
+            # Draw the whole round's fresh content as one columnar batch
+            # (seeded from the schedule's rng, see batch_columns); the
+            # thunks then insert single pre-drawn rows, so interleaving
+            # with query traffic keeps working in intra-round mode.
+            fresh = batch_columns(
+                self.inserts_per_round, distinct=False, rng=rng
+            )
+            for values, measures in fresh.payloads():
 
-            def do_insert():
-                values, measures = self.source.one(rng)
-                db.insert(values, measures)
+                def do_insert(
+                    v: bytes = values, m: tuple[float, ...] = measures
+                ):
+                    db.insert(v, m)
 
-            mutations.append(do_insert)
+                mutations.append(do_insert)
+        elif self.inserts_per_round:
+            # Duck-typed sources (e.g. the marketplace wrappers) expose
+            # only one()/batch(); keep the per-tuple draw for them.
+            for _ in range(self.inserts_per_round):
+
+                def do_insert_one():
+                    values, measures = self.source.one(rng)
+                    db.insert(values, measures)
+
+                mutations.append(do_insert_one)
         if self.deletes_per_round is not None:
             num_deletes = min(self.deletes_per_round, len(db))
         else:

@@ -5,9 +5,17 @@ distributions and a measure sampler.  It can produce a bulk snapshot (to
 load a database and fill an insertion pool) and endless fresh tuples (for
 schedules that insert more rows than any snapshot holds).
 
-Value sampling is vectorised with numpy; payloads are ``(values, measures)``
-pairs that :meth:`repro.hiddendb.database.HiddenDatabase.insert` accepts
-directly.
+Value sampling is vectorised with numpy.  The columnar entry point is
+:meth:`SyntheticSource.batch_columns`, which returns a
+:class:`~repro.hiddendb.tuples.TupleBatch` that
+:meth:`repro.hiddendb.database.HiddenDatabase.insert_many` loads without
+materializing per-tuple Python objects; :meth:`SyntheticSource.batch`
+wraps it into scalar ``(values, measures)`` payloads for pool-based
+schedules.
+
+RNG streams (see the ``seed`` parameter): the bulk path and the per-call
+path draw from *independent* generators, so interleaving them never
+perturbs either stream.
 """
 
 from __future__ import annotations
@@ -19,12 +27,29 @@ import numpy as np
 
 from ..errors import SchemaError
 from ..hiddendb.schema import Attribute, Schema
+from ..hiddendb.tuples import TupleBatch
 
 #: A tuple payload: categorical values plus measure values.
 Payload = tuple[bytes, tuple[float, ...]]
 
 #: Signature of a measure sampler: rng -> measure vector.
 MeasureSampler = Callable[[random.Random], tuple[float, ...]]
+
+
+def _unique_rows_in_order(matrix: np.ndarray) -> np.ndarray:
+    """First occurrence of each distinct row, in original row order.
+
+    One vectorized pass: rows are compared as opaque byte strings via a
+    void view, and the sorted first-occurrence indices restore order.
+    """
+    if len(matrix) <= 1:
+        return matrix
+    as_void = np.ascontiguousarray(matrix).view(
+        np.dtype((np.void, matrix.shape[1]))
+    ).ravel()
+    _, first = np.unique(as_void, return_index=True)
+    first.sort()
+    return matrix[first]
 
 
 def zipf_weights(size: int, exponent: float = 0.8) -> np.ndarray:
@@ -53,8 +78,15 @@ class SyntheticSource:
         Draws the measure vector for one tuple; ``None`` produces empty
         measures (schema must then declare no measures).
     seed:
-        Seed of the source's own generator (bulk sampling); per-call RNGs
-        can be supplied for reproducible interleaving with schedules.
+        Seeds two documented, independent streams: the numpy generator
+        ``default_rng(seed)`` behind every bulk draw
+        (:meth:`batch_columns` / :meth:`batch`), and a Python
+        ``random.Random`` behind the per-call path (:meth:`one` and
+        default measure sampling), derived from the tag
+        ``"repro-synthetic-per-call:<seed>"`` so the two streams never
+        coincide even though they share one ``seed`` argument.  Per-call
+        RNGs can also be supplied explicitly for reproducible
+        interleaving with schedules.
     """
 
     def __init__(
@@ -80,12 +112,97 @@ class SyntheticSource:
                 "schema declares measures but no measure_sampler was given"
             )
         self.measure_sampler = measure_sampler
+        # Independent streams: bulk draws come from the numpy generator,
+        # per-call draws from a tag-derived Python generator (seeding both
+        # from the bare integer would couple them).
         self._np_rng = np.random.default_rng(seed)
-        self._py_rng = random.Random(seed)
+        self._py_rng = random.Random(f"repro-synthetic-per-call:{seed}")
 
     # ------------------------------------------------------------------
     # Bulk generation
     # ------------------------------------------------------------------
+    def batch_columns(
+        self,
+        count: int,
+        distinct: bool = True,
+        max_attempts: int = 20,
+        rng: random.Random | None = None,
+    ) -> TupleBatch:
+        """Generate ``count`` rows as one columnar :class:`TupleBatch`.
+
+        The paper assumes all tuples are distinct; with realistic attribute
+        counts collisions are vanishingly rare, so rejection sampling
+        converges immediately — distinctness is enforced with one
+        order-preserving vectorized unique pass per attempt.
+
+        ``rng`` (per-call path): when given, value draws come from a numpy
+        generator derived from it and measures are sampled from it
+        directly, so a schedule's own stream drives the content.
+        """
+        if rng is None:
+            np_rng = self._np_rng
+            measure_rng = self._py_rng
+        else:
+            np_rng = np.random.default_rng(rng.getrandbits(64))
+            measure_rng = rng
+        if count == 0:
+            return TupleBatch(
+                np.empty((0, self.schema.num_attributes), dtype=np.uint8),
+                np.empty((0, len(self.schema.measures)), dtype=np.float64),
+            )
+        kept: list[np.ndarray] = []
+        total_kept = 0
+        seen: set[bytes] | None = None
+        attempts = 0
+        while total_kept < count:
+            attempts += 1
+            if attempts > max_attempts:
+                raise SchemaError(
+                    f"could not generate {count} distinct value vectors "
+                    f"(leaf space too small?)"
+                )
+            needed = count - total_kept
+            matrix = np.empty(
+                (needed, len(self.attr_weights)), dtype=np.uint8
+            )
+            for position, weights in enumerate(self.attr_weights):
+                matrix[:, position] = np_rng.choice(
+                    len(weights), size=needed, p=weights
+                )
+            if distinct:
+                matrix = _unique_rows_in_order(matrix)
+                if seen:
+                    fresh = [
+                        row for row in matrix if row.tobytes() not in seen
+                    ]
+                    matrix = (
+                        np.stack(fresh)
+                        if fresh
+                        else matrix[:0]
+                    )
+            matrix = matrix[:needed]
+            if len(matrix):
+                kept.append(matrix)
+                total_kept += len(matrix)
+            if distinct and total_kept < count and seen is None:
+                # Entering a retry: only now pay the per-row cost of a
+                # cross-attempt dedup set (the common case never does).
+                seen = {
+                    row.tobytes() for chunk in kept for row in chunk
+                }
+            elif seen is not None and len(matrix):
+                seen.update(row.tobytes() for row in matrix)
+        values = kept[0] if len(kept) == 1 else np.concatenate(kept)
+        num_measures = len(self.schema.measures)
+        if self.measure_sampler is None:
+            measures = np.empty((count, 0), dtype=np.float64)
+        else:
+            measures = np.array(
+                [self.measure_sampler(measure_rng) for _ in range(count)],
+                dtype=np.float64,
+            ).reshape(count, num_measures)
+        return TupleBatch(values, measures)
+
     def batch(
         self,
         count: int,
@@ -94,36 +211,12 @@ class SyntheticSource:
     ) -> list[Payload]:
         """Generate ``count`` payloads, optionally distinct on values.
 
-        The paper assumes all tuples are distinct; with realistic attribute
-        counts collisions are vanishingly rare, so rejection sampling
-        converges immediately.
+        Scalar view of :meth:`batch_columns` — identical draws from the
+        same streams, materialized as ``(values, measures)`` pairs.
         """
-        payloads: list[Payload] = []
-        seen: set[bytes] = set()
-        attempts = 0
-        while len(payloads) < count:
-            attempts += 1
-            if attempts > max_attempts:
-                raise SchemaError(
-                    f"could not generate {count} distinct value vectors "
-                    f"(leaf space too small?)"
-                )
-            needed = count - len(payloads)
-            columns = [
-                self._np_rng.choice(len(w), size=needed, p=w)
-                for w in self.attr_weights
-            ]
-            matrix = np.stack(columns, axis=1).astype(np.uint8)
-            for row in matrix:
-                values = row.tobytes()
-                if distinct:
-                    if values in seen:
-                        continue
-                    seen.add(values)
-                payloads.append((values, self._sample_measures()))
-                if len(payloads) == count:
-                    break
-        return payloads
+        return self.batch_columns(
+            count, distinct=distinct, max_attempts=max_attempts
+        ).payloads()
 
     def one(self, rng: random.Random | None = None) -> Payload:
         """Generate a single payload (used by fresh-insert schedules)."""

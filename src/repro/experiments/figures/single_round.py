@@ -167,8 +167,7 @@ def _big_change_factory(scale: float, inserts: int, delete_fraction: float,
     def factory(seed: int):
         source = autos_source(seed=seed)
         db = HiddenDatabase(source.schema)
-        for values, measures in source.batch(n_start):
-            db.insert(values, measures)
+        db.insert_many(source.batch_columns(n_start))
         schedule = FreshTupleSchedule(
             source,
             inserts_per_round=n_inserts,

@@ -132,8 +132,7 @@ def run_fig10(
 
             schema, payloads = autos_snapshot(10_000, seed_)
             db = HiddenDatabase(schema)
-            for values, measures in payloads[:5_000]:
-                db.insert(values, measures)
+            db.insert_many(payloads[:5_000])
             schedule = SnapshotPoolSchedule(
                 payloads[5_000:],
                 inserts_per_round=inserts,
@@ -218,7 +217,9 @@ def run_fig12(
         def factory(seed_: int, n=n):
             source = skewed_source(domain_sizes, exponent=0.4, seed=seed_)
             db = HiddenDatabase(source.schema)
-            db.insert_many(source.batch(n))
+            # Columnar load: the batch goes straight to the vectorized
+            # data plane without materializing per-tuple payloads.
+            db.insert_many(source.batch_columns(n))
             from ...data.schedules import FreshTupleSchedule
 
             schedule = FreshTupleSchedule(

@@ -21,14 +21,23 @@ from .ranking import MeasureScore, RandomScore, RecencyScore
 from .result import QueryResult, QueryStatus
 from .schema import Attribute, Schema, boolean_schema
 from .session import QuerySession
-from .store import PrefixIndex, SortedKeyList, TupleStore
-from .tuples import HiddenTuple, make_tuple
+from .store import (
+    KeyCodec,
+    PrefixIndex,
+    SortedKeyList,
+    TupleStore,
+    get_data_plane,
+    set_data_plane,
+    using_data_plane,
+)
+from .tuples import HiddenTuple, TupleBatch, make_tuple
 
 __all__ = [
     "Attribute",
     "ConjunctiveQuery",
     "HiddenDatabase",
     "HiddenTuple",
+    "KeyCodec",
     "MeasureScore",
     "PackedArrayBackend",
     "PrefixIndex",
@@ -41,13 +50,17 @@ __all__ = [
     "SortedKeyList",
     "StorageBackend",
     "TopKInterface",
+    "TupleBatch",
     "TupleStore",
     "available_backends",
     "boolean_schema",
+    "get_data_plane",
     "get_default_backend",
     "make_backend",
     "make_tuple",
     "register_backend",
+    "set_data_plane",
     "set_default_backend",
     "using_backend",
+    "using_data_plane",
 ]

@@ -30,6 +30,8 @@ from contextlib import contextmanager
 from heapq import merge as heap_merge
 from typing import Callable, Iterable, Iterator, Protocol, runtime_checkable
 
+import numpy as np
+
 from ..errors import SchemaError
 
 #: Target number of keys per block for blocked engines; blocks split at
@@ -42,6 +44,51 @@ _INT64_MAX = 2**63 - 1
 #: Entries kept in the rank cache before it stops growing (safety valve;
 #: the cache is cleared on every mutation anyway).
 _RANK_CACHE_LIMIT = 65536
+
+
+def _as_int64_batch(keys) -> np.ndarray | None:
+    """The keys as an int64 vector if they arrived as an integer ndarray.
+
+    Non-integer arrays (floats, bools, objects) fall through to the
+    generic iterable path so their per-key semantics stay identical.
+    """
+    if isinstance(keys, np.ndarray) and np.issubdtype(
+        keys.dtype, np.integer
+    ):
+        return np.asarray(keys, dtype=np.int64)
+    return None
+
+
+def _sorted_multiset_subtract(
+    existing: np.ndarray, batch: np.ndarray, owner: str
+) -> np.ndarray:
+    """Remove the sorted ``batch`` multiset from sorted ``existing``.
+
+    Occurrence ``j`` of a key in ``batch`` cancels the ``j``-th occurrence
+    of that key in ``existing`` — pure searchsorted arithmetic, no Python
+    loop.  Raises ``ValueError`` (and leaves both inputs untouched) when a
+    batch key has no remaining occurrence.
+    """
+    n = len(existing)
+    positions = np.searchsorted(existing, batch, side="left")
+    occurrence = np.arange(len(batch)) - np.searchsorted(
+        batch, batch, side="left"
+    )
+    remove_positions = positions + occurrence
+    out_of_range = remove_positions >= n
+    if out_of_range.any():
+        bad = out_of_range
+        bad[~out_of_range] = (
+            existing[remove_positions[~out_of_range]] != batch[~out_of_range]
+        )
+    else:
+        bad = existing[remove_positions] != batch
+    if bad.any():
+        missing = int(batch[int(np.argmax(bad))])
+        raise ValueError(f"key {missing} not in {owner}")
+    keep = np.ones(n, dtype=bool)
+    keep[remove_positions] = False
+    return existing[keep]
 
 
 @runtime_checkable
@@ -156,7 +203,18 @@ class PackedArrayBackend:
         self._maybe_compact()
 
     def bulk_add(self, keys: Iterable[int]) -> None:
-        """Insert a batch in one sort+merge instead of per-key insertion."""
+        """Insert a batch in one sort+merge instead of per-key insertion.
+
+        A numeric ``np.ndarray`` batch takes a fully vectorized path on
+        packed runs: one ``np.sort`` merge into a fresh run, no
+        per-element Python calls.
+        """
+        array_batch = _as_int64_batch(keys)
+        if array_batch is not None:
+            if self._packed and len(array_batch) * 8 >= len(self._run):
+                self._bulk_add_array(array_batch)
+                return
+            keys = array_batch.tolist()
         batch = sorted(keys)
         if not batch:
             return
@@ -167,6 +225,40 @@ class PackedArrayBackend:
         self._size += len(batch)
         self._dirty()
         self._maybe_compact()
+
+    def _live_array(self) -> np.ndarray:
+        """All live keys (run − dead, merged with tail) as sorted int64."""
+        if len(self._run):
+            run = np.frombuffer(self._run, dtype=np.int64)
+        else:
+            run = np.empty(0, dtype=np.int64)
+        if self._dead:
+            run = _sorted_multiset_subtract(
+                run, np.asarray(self._dead, dtype=np.int64),
+                type(self).__name__,
+            )
+        if self._tail:
+            run = np.concatenate(
+                [run, np.asarray(self._tail, dtype=np.int64)]
+            )
+            run.sort()
+        return run
+
+    def _replace_run(self, merged: np.ndarray) -> None:
+        new_run = array("q")
+        new_run.frombytes(merged.astype(np.int64, copy=False).tobytes())
+        self._run = new_run
+        self._tail = []
+        self._dead = []
+        self._size = len(merged)
+        self._dirty()
+
+    def _bulk_add_array(self, batch: np.ndarray) -> None:
+        if not len(batch):
+            return
+        merged = np.concatenate([self._live_array(), batch])
+        merged.sort()
+        self._replace_run(merged)
 
     def _remove_one(self, key: int) -> None:
         position = bisect_left(self._tail, key)
@@ -185,10 +277,28 @@ class PackedArrayBackend:
         self._maybe_compact()
 
     def bulk_remove(self, keys: Iterable[int]) -> None:
-        """Remove a batch, deferring physical deletion to one compaction."""
+        """Remove a batch, deferring physical deletion to one compaction.
+
+        A numeric ``np.ndarray`` batch on a packed run is subtracted with
+        one vectorized multiset pass and a run rebuild.
+        """
+        array_batch = _as_int64_batch(keys)
+        if array_batch is not None:
+            if self._packed and len(array_batch) * 8 >= len(self._run):
+                self._bulk_remove_array(array_batch)
+                return
+            keys = array_batch.tolist()
         for key in sorted(keys):
             self._remove_one(key)
         self._maybe_compact()
+
+    def _bulk_remove_array(self, batch: np.ndarray) -> None:
+        if not len(batch):
+            return
+        survivors = _sorted_multiset_subtract(
+            self._live_array(), np.sort(batch), type(self).__name__
+        )
+        self._replace_run(survivors)
 
     # ------------------------------------------------------------------
     # Queries
@@ -244,10 +354,16 @@ class PackedArrayBackend:
     def iter_range(self, lo: int, hi: int) -> Iterator[int]:
         """Yield keys in ``[lo, hi)`` in ascending order."""
         if hi <= lo:
-            return
+            return iter(())
         tail = self._tail
         tail_slice = tail[bisect_left(tail, lo):bisect_left(tail, hi)]
-        yield from heap_merge(self._iter_live_run(lo, hi), tail_slice)
+        dead = self._dead
+        if not tail_slice and bisect_left(dead, lo) == bisect_left(dead, hi):
+            # No buffered keys in range: the answer is one contiguous run
+            # slice — a C-level copy instead of a per-key generator merge.
+            run = self._run
+            return iter(run[bisect_left(run, lo):bisect_left(run, hi)])
+        return heap_merge(self._iter_live_run(lo, hi), tail_slice)
 
     def __iter__(self) -> Iterator[int]:
         yield from heap_merge(self._iter_live_run(), list(self._tail))

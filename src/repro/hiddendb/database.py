@@ -15,11 +15,13 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from .backends import DEFAULT_BLOCK_SIZE
-from .ranking import RandomScore, RankingPolicy
+from .ranking import RandomScore, RankingPolicy, scores_for_batch
 from .schema import Schema
-from .store import TupleStore
-from .tuples import HiddenTuple
+from .store import TupleStore, get_data_plane
+from .tuples import HiddenTuple, TupleBatch
 
 
 class HiddenDatabase:
@@ -113,21 +115,61 @@ class HiddenDatabase:
                 count += 1
         return count
 
+    def insert_batch(self, batch: TupleBatch) -> int:
+        """Insert a columnar batch: one tid range, one score vector, one
+        index merge.
+
+        Semantically identical to inserting the batch's rows one by one
+        with :meth:`insert` — same tid allocation, same ranking-policy
+        score stream — but the whole batch stays columnar on the
+        vectorized data plane (see :mod:`repro.hiddendb.store`).
+        """
+        n = len(batch)
+        if n == 0:
+            return 0
+        tids = np.arange(self._next_tid, self._next_tid + n, dtype=np.int64)
+        scores = scores_for_batch(self.ranking, batch, tids, self.schema)
+        self._next_tid += n
+        self.store.insert_batch(batch.with_identity(tids, scores))
+        return n
+
     def insert_many(
-        self, rows: Iterable[tuple[bytes | Sequence[int], Sequence[float]]]
+        self,
+        rows: (
+            Iterable[tuple[bytes | Sequence[int], Sequence[float]]] | TupleBatch
+        ),
     ) -> int:
         """Insert many ``(values, measures)`` payloads in one index merge.
 
         Semantically identical to calling :meth:`insert` per row (same tid
         allocation, same ranking-policy score stream) but the indexes are
-        brought up to date with one bulk merge for the whole batch.
+        brought up to date with one bulk merge for the whole batch.  A
+        :class:`TupleBatch` — or, on the vectorized data plane, any uniform
+        payload list — takes the columnar fast path.
         """
+        if isinstance(rows, TupleBatch):
+            return self.insert_batch(rows)
+        if get_data_plane() == "vectorized":
+            rows = list(rows)
+            if self._payloads_uniform(rows):
+                return self.insert_batch(
+                    TupleBatch.from_payloads(rows, len(self.schema.measures))
+                )
         count = 0
         with self.store.bulk():
             for values, measures in rows:
                 self.insert(values, measures)
                 count += 1
         return count
+
+    def _payloads_uniform(self, rows: list) -> bool:
+        """True when payload rows can be packed into one value matrix."""
+        num_attributes = self.schema.num_attributes
+        num_measures = len(self.schema.measures)
+        return bool(rows) and all(
+            len(values) == num_attributes and len(measures) == num_measures
+            for values, measures in rows
+        )
 
     def bulk_delete(self, tids: Iterable[int]) -> list[HiddenTuple]:
         """Delete many tuples by id in one index merge; returns them."""

@@ -11,16 +11,49 @@ from __future__ import annotations
 import random
 from typing import Protocol
 
+import numpy as np
+
 from .schema import Schema
-from .tuples import HiddenTuple
+from .tuples import HiddenTuple, TupleBatch
 
 
 class RankingPolicy(Protocol):
-    """Assigns the static ranking score of a tuple at insert time."""
+    """Assigns the static ranking score of a tuple at insert time.
+
+    Policies may additionally implement ``score_batch(batch, tids, schema)
+    -> np.ndarray`` to score a columnar batch without materializing
+    tuples; it must draw from the same stream as per-tuple :meth:`score`
+    calls in row order (see :func:`scores_for_batch`).
+    """
 
     def score(self, t: HiddenTuple, schema: Schema) -> float:
         """Higher scores rank earlier in search results."""
         ...
+
+
+def scores_for_batch(
+    policy: "RankingPolicy",
+    batch: TupleBatch,
+    tids: np.ndarray,
+    schema: Schema,
+) -> np.ndarray:
+    """Score vector of a batch, matching the per-tuple score stream.
+
+    Uses the policy's ``score_batch`` fast path when it has one; otherwise
+    materializes each row and calls :meth:`RankingPolicy.score` exactly as
+    the scalar insert path would, so third-party policies keep working.
+    """
+    score_batch = getattr(policy, "score_batch", None)
+    if score_batch is not None:
+        return np.asarray(score_batch(batch, tids, schema), dtype=np.float64)
+    scores = np.empty(len(batch), dtype=np.float64)
+    for row in range(len(batch)):
+        t = HiddenTuple(
+            int(tids[row]), batch.values[row].tobytes(),
+            batch.row_measures(row),
+        )
+        scores[row] = policy.score(t, schema)
+    return scores
 
 
 class RandomScore:
@@ -31,6 +64,16 @@ class RandomScore:
 
     def score(self, t: HiddenTuple, schema: Schema) -> float:
         return self._rng.random()
+
+    def score_batch(
+        self, batch: TupleBatch, tids: np.ndarray, schema: Schema
+    ) -> np.ndarray:
+        # Draw from the same Mersenne stream as per-tuple scoring so the
+        # scalar and vectorized planes assign identical scores.
+        rng_random = self._rng.random
+        return np.array(
+            [rng_random() for _ in range(len(batch))], dtype=np.float64
+        )
 
 
 class MeasureScore:
@@ -47,9 +90,25 @@ class MeasureScore:
         value = t.measure(self._measure_index)
         return value if self.descending else -value
 
+    def score_batch(
+        self, batch: TupleBatch, tids: np.ndarray, schema: Schema
+    ) -> np.ndarray:
+        if self._measure_index is None:
+            self._measure_index = schema.measure_index(self.measure)
+        column = batch.measures[:, self._measure_index]
+        # Copy: returning the view would make the stored score vector
+        # alias the measure column, so later in-place measure updates and
+        # score writes would corrupt each other.
+        return column.copy() if self.descending else -column
+
 
 class RecencyScore:
     """Rank newest-first (higher tid = inserted later = ranked earlier)."""
 
     def score(self, t: HiddenTuple, schema: Schema) -> float:
         return float(t.tid)
+
+    def score_batch(
+        self, batch: TupleBatch, tids: np.ndarray, schema: Schema
+    ) -> np.ndarray:
+        return np.asarray(tids, dtype=np.float64)

@@ -14,37 +14,107 @@ Components:
   as ``sortedcontainers.SortedList``, reimplemented because this environment
   is offline): O(sqrt n) insert/delete, O(log n + #blocks) positional rank.
   Registered as the ``"blocked"`` storage backend (the default).
-* :class:`PrefixIndex` — mixed-radix key codec over one attribute order,
-  backed by any :class:`~repro.hiddendb.backends.StorageBackend`.
+* :class:`KeyCodec` — the mixed-radix key codec over one attribute order,
+  with vectorized :meth:`KeyCodec.encode_many` / :meth:`KeyCodec.decode_many`
+  batch paths (pure int64 when the key universe fits 64 bits, int64 limbs
+  combined with arbitrary-precision arithmetic otherwise).
+* :class:`PrefixIndex` — a key codec plus any
+  :class:`~repro.hiddendb.backends.StorageBackend` holding the key multiset.
 * :class:`TupleStore` — the tuple heap plus any number of prefix indexes,
   with a mutation-event stream for ground-truth observers, bulk
   insert/delete, and a deferred-maintenance :meth:`TupleStore.bulk` context
-  so churn rounds pay one index merge instead of per-tuple upkeep.
+  so churn rounds pay one index merge instead of per-tuple upkeep.  Batches
+  inserted through :meth:`TupleStore.insert_batch` stay columnar: rows live
+  in frozen :class:`~repro.hiddendb.tuples.TupleBatch` blocks and are
+  materialized as :class:`HiddenTuple` objects only when a query touches
+  them.
+
+The vectorized plane can be disabled process-wide (``REPRO_DATA_PLANE=scalar``
+or :func:`set_data_plane`), which makes every batch entry point fall back to
+the per-tuple code path — the parity oracle for the batch plane.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+import os
+from bisect import bisect_left, bisect_right, insort
 from contextlib import contextmanager
 from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
 
 from ..errors import SchemaError
 from .backends import (
     DEFAULT_BLOCK_SIZE,
     StorageBackend,
+    _as_int64_batch,
+    _sorted_multiset_subtract,
     make_backend,
     register_backend,
     resolve_backend,
 )
 from .schema import Schema
-from .tuples import HiddenTuple
+from .tuples import HiddenTuple, TupleBatch
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
+    "KeyCodec",
     "PrefixIndex",
     "SortedKeyList",
     "TupleStore",
+    "get_data_plane",
+    "set_data_plane",
+    "using_data_plane",
 ]
+
+
+# ----------------------------------------------------------------------
+# Data-plane selection
+# ----------------------------------------------------------------------
+
+_DATA_PLANES = ("vectorized", "scalar")
+
+_data_plane = os.environ.get("REPRO_DATA_PLANE", "vectorized")
+if _data_plane not in _DATA_PLANES:  # pragma: no cover - env misuse
+    raise SchemaError(
+        f"REPRO_DATA_PLANE must be one of {_DATA_PLANES}, got {_data_plane!r}"
+    )
+
+
+def get_data_plane() -> str:
+    """The active data plane: ``"vectorized"`` (default) or ``"scalar"``."""
+    return _data_plane
+
+
+def set_data_plane(name: str) -> str:
+    """Select the data plane process-wide; returns the previous one.
+
+    ``"scalar"`` makes :meth:`TupleStore.insert_batch` (and everything
+    built on it) degrade to the per-tuple insert path — byte-identical
+    results, per-tuple cost.  Used by the parity tests and the
+    ``REPRO_DATA_PLANE`` benchmark knob.
+    """
+    global _data_plane
+    if name not in _DATA_PLANES:
+        raise SchemaError(
+            f"unknown data plane {name!r}; available: {', '.join(_DATA_PLANES)}"
+        )
+    previous = _data_plane
+    _data_plane = name
+    return previous
+
+
+@contextmanager
+def using_data_plane(name: str | None):
+    """Scope the data plane (``None`` leaves it untouched)."""
+    if name is None:
+        yield get_data_plane()
+        return
+    previous = set_data_plane(name)
+    try:
+        yield name
+    finally:
+        set_data_plane(previous)
 
 
 class SortedKeyList:
@@ -123,8 +193,16 @@ class SortedKeyList:
 
         Large batches (at least a quarter of the current size) rebuild the
         block structure from a single merge-sort; small batches fall back to
-        per-key insertion, which keeps amortized cost below a rebuild.
+        per-key insertion, which keeps amortized cost below a rebuild.  A
+        numeric ``np.ndarray`` batch takes a fully vectorized merge with no
+        per-element Python calls.
         """
+        array_batch = _as_int64_batch(keys)
+        if array_batch is not None:
+            if len(array_batch) * 4 >= self._size:
+                self._bulk_add_array(array_batch)
+                return
+            keys = array_batch.tolist()
         batch = sorted(keys)
         if not batch:
             return
@@ -137,12 +215,37 @@ class SortedKeyList:
         merged.sort()
         self._rebuild(merged)
 
+    def _as_array(self) -> np.ndarray:
+        """Current contents as a sorted int64 vector."""
+        if not self._size:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(
+            [np.asarray(block, dtype=np.int64) for block in self._blocks]
+        )
+
+    def _bulk_add_array(self, batch: np.ndarray) -> None:
+        if not len(batch):
+            return
+        merged = np.concatenate([self._as_array(), batch])
+        merged.sort()
+        self._rebuild(merged.tolist())
+
     def bulk_remove(self, keys: Iterable[int]) -> None:
         """Remove a batch of keys; raise ``ValueError`` if any is absent.
 
         Mirrors :meth:`bulk_add`: large batches rebuild once, small batches
-        delegate to per-key removal.
+        delegate to per-key removal, numeric ``np.ndarray`` batches subtract
+        vectorized.
         """
+        array_batch = _as_int64_batch(keys)
+        if array_batch is not None:
+            if len(array_batch) * 4 >= self._size:
+                survivors = _sorted_multiset_subtract(
+                    self._as_array(), np.sort(array_batch), "SortedKeyList"
+                )
+                self._rebuild(survivors.tolist())
+                return
+            keys = array_batch.tolist()
         batch = sorted(keys)
         if not batch:
             return
@@ -240,8 +343,16 @@ register_backend(
 )
 
 
-class PrefixIndex:
-    """Mixed-radix key index over one attribute order.
+#: Largest exclusive key bound representable in a signed 64-bit key vector.
+_INT64_KEY_BOUND = 2**63
+
+#: Largest partial radix product allowed inside one int64 limb of the wide
+#: encode path (one extra digit of radix <= 2 must never overflow int64).
+_LIMB_BOUND = 2**62
+
+
+class KeyCodec:
+    """Mixed-radix key codec over one attribute order.
 
     The key of a tuple is::
 
@@ -253,13 +364,161 @@ class PrefixIndex:
     ``TID_SPAN``.  Python's arbitrary-precision integers make this exact for
     any number of attributes.
 
+    :meth:`encode_many` / :meth:`decode_many` are the vectorized batch
+    paths.  When the whole key universe fits a signed 64-bit word the
+    encoding is one numpy Horner loop over int64 vectors; otherwise the
+    digits are grouped into int64-safe *limbs* (each an exact partial
+    mixed-radix code, computed vectorized) that are combined with
+    arbitrary-precision integer arithmetic over object arrays — still no
+    per-digit Python loop, and overflow-checked by construction because
+    every limb product stays below ``2**62``.
+    """
+
+    __slots__ = ("attr_order", "radices", "tid_span", "spans", "_limb_plan")
+
+    def __init__(
+        self,
+        radices: Sequence[int],
+        attr_order: Sequence[int],
+        tid_span: int,
+    ):
+        self.attr_order = tuple(attr_order)
+        self.radices = tuple(int(r) for r in radices)
+        if len(self.radices) != len(self.attr_order):
+            raise SchemaError("radices must align with attr_order")
+        self.tid_span = int(tid_span)
+        # spans[d] = width of a depth-d prefix's key range.
+        spans = [self.tid_span]
+        for radix in reversed(self.radices):
+            spans.append(spans[-1] * radix)
+        spans.reverse()  # spans[d] for d in 0..m
+        self.spans = tuple(spans)
+        # The wide-path limb plan: consecutive digits of the extended digit
+        # sequence (value digits in attr order, then the tid digit) grouped
+        # so each group's radix product stays int64-safe.
+        digits = self.radices + (self.tid_span,)
+        plan: list[tuple[int, int, int]] = []  # (start, stop, product)
+        start = 0
+        product = 1
+        for position, radix in enumerate(digits):
+            if product * radix > _LIMB_BOUND and product > 1:
+                plan.append((start, position, product))
+                start, product = position, 1
+            product *= radix
+        plan.append((start, len(digits), product))
+        self._limb_plan = tuple(plan)
+
+    @property
+    def key_bound(self) -> int:
+        """Exclusive upper bound of the key universe (``spans[0]``)."""
+        return self.spans[0]
+
+    @property
+    def fits_int64(self) -> bool:
+        """True when every key fits a signed 64-bit word."""
+        return self.spans[0] <= _INT64_KEY_BOUND
+
+    def encode(self, values: bytes | Sequence[int], tid: int) -> int:
+        """Full key of one tuple (value digits + tid) — the scalar path."""
+        code = 0
+        for attr_index, radix in zip(self.attr_order, self.radices):
+            code = code * radix + values[attr_index]
+        return code * self.tid_span + tid
+
+    def encode_many(
+        self, values: np.ndarray, tids: np.ndarray
+    ) -> np.ndarray:
+        """Keys of an ``(n, m)`` uint8 value matrix plus an int64 tid vector.
+
+        Returns an int64 vector when the key universe fits 64 bits, else an
+        object vector of exact arbitrary-precision Python ints (same order).
+        """
+        tids = np.asarray(tids, dtype=np.int64)
+        n = len(tids)
+        if len(values) != n:
+            raise SchemaError("values and tids must have equal length")
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if self.fits_int64:
+            code = np.zeros(n, dtype=np.int64)
+            for attr_index, radix in zip(self.attr_order, self.radices):
+                code *= radix
+                code += values[:, attr_index]
+            return code * self.tid_span + tids
+        digits = self.radices + (self.tid_span,)
+        total: np.ndarray | None = None
+        for start, stop, product in self._limb_plan:
+            limb = np.zeros(n, dtype=np.int64)
+            for position in range(start, stop):
+                limb *= digits[position]
+                if position < len(self.attr_order):
+                    limb += values[:, self.attr_order[position]]
+                else:
+                    limb += tids
+            if total is None:
+                total = limb.astype(object)
+            else:
+                total = total * product + limb
+        assert total is not None
+        return total
+
+    def decode_many(self, keys: np.ndarray | Sequence[int]) -> tuple[
+        np.ndarray, np.ndarray
+    ]:
+        """Inverse of :meth:`encode_many`.
+
+        Returns ``(values, tids)`` with ``values`` an ``(n, m)`` uint8
+        matrix in *schema attribute order* and ``tids`` an int64 vector.
+        """
+        n = len(keys)
+        values = np.zeros((n, len(self.attr_order)), dtype=np.uint8)
+        tids = np.empty(n, dtype=np.int64)
+        if n == 0:
+            return values, tids
+        if self.fits_int64:
+            code = np.asarray(keys, dtype=np.int64)
+            tids[:] = code % self.tid_span
+            code = code // self.tid_span
+            for attr_index, radix in zip(
+                reversed(self.attr_order), reversed(self.radices)
+            ):
+                values[:, attr_index] = code % radix
+                code = code // radix
+            return values, tids
+        for row, key in enumerate(keys):
+            code, tid = divmod(int(key), self.tid_span)
+            tids[row] = tid
+            for attr_index, radix in zip(
+                reversed(self.attr_order), reversed(self.radices)
+            ):
+                code, digit = divmod(code, radix)
+                values[row, attr_index] = digit
+        return values, tids
+
+    def prefix_range(self, prefix_values: Sequence[int]) -> tuple[int, int]:
+        """Half-open key interval of the node fixing ``prefix_values``.
+
+        ``prefix_values`` are value indices for the first ``len(prefix)``
+        attributes of this codec's order.
+        """
+        depth = len(prefix_values)
+        code = 0
+        for position in range(depth):
+            code = code * self.radices[position] + prefix_values[position]
+        span = self.spans[depth]
+        lo = code * span
+        return lo, lo + span
+
+
+class PrefixIndex:
+    """A key codec plus the storage backend holding the key multiset.
+
     The key multiset lives in a pluggable
     :class:`~repro.hiddendb.backends.StorageBackend` selected by name
     (``None`` = the process-wide default).
     """
 
-    __slots__ = ("attr_order", "backend_name", "_radices", "_spans",
-                 "_tid_span", "_keys")
+    __slots__ = ("attr_order", "backend_name", "codec", "_keys")
 
     def __init__(
         self,
@@ -275,17 +534,14 @@ class PrefixIndex:
                 "attr_order must be a permutation of all attribute indexes"
             )
         self.attr_order = order
-        self._radices = tuple(schema.attributes[a].size for a in order)
-        self._tid_span = tid_span
-        # _spans[d] = width of a depth-d prefix's key range.
-        spans = [tid_span]
-        for radix in reversed(self._radices):
-            spans.append(spans[-1] * radix)
-        spans.reverse()  # spans[d] for d in 0..m
-        self._spans = tuple(spans)
+        self.codec = KeyCodec(
+            tuple(schema.attributes[a].size for a in order), order, tid_span
+        )
         self.backend_name = resolve_backend(backend)
         self._keys: StorageBackend = make_backend(
-            self.backend_name, block_size=block_size, key_bound=self._spans[0]
+            self.backend_name,
+            block_size=block_size,
+            key_bound=self.codec.key_bound,
         )
 
     @property
@@ -295,25 +551,11 @@ class PrefixIndex:
 
     def encode(self, t: HiddenTuple) -> int:
         """Full key of a tuple (value digits + tid)."""
-        code = 0
-        values = t.values
-        for attr_index, radix in zip(self.attr_order, self._radices):
-            code = code * radix + values[attr_index]
-        return code * self._tid_span + t.tid
+        return self.codec.encode(t.values, t.tid)
 
     def prefix_range(self, prefix_values: Sequence[int]) -> tuple[int, int]:
-        """Half-open key interval of the node fixing ``prefix_values``.
-
-        ``prefix_values`` are value indices for the first ``len(prefix)``
-        attributes of this index's order.
-        """
-        depth = len(prefix_values)
-        code = 0
-        for position in range(depth):
-            code = code * self._radices[position] + prefix_values[position]
-        span = self._spans[depth]
-        lo = code * span
-        return lo, lo + span
+        """Half-open key interval of the node fixing ``prefix_values``."""
+        return self.codec.prefix_range(prefix_values)
 
     def add(self, t: HiddenTuple) -> None:
         self._keys.add(self.encode(t))
@@ -329,6 +571,19 @@ class PrefixIndex:
         """Unindex a batch of tuples with one backend merge."""
         self._keys.bulk_remove([self.encode(t) for t in tuples])
 
+    def _batch_keys(self, batch: TupleBatch):
+        keys = self.codec.encode_many(batch.values, batch.tids)
+        if keys.dtype == object:
+            return keys.tolist()
+        return keys
+
+    def bulk_add_batch(self, batch: TupleBatch) -> None:
+        """Index a columnar batch without materializing tuples."""
+        if get_data_plane() == "scalar":
+            self.bulk_add(batch.iter_tuples())
+            return
+        self._keys.bulk_add(self._batch_keys(batch))
+
     def count_prefix(self, prefix_values: Sequence[int]) -> int:
         """Number of stored tuples matching the prefix."""
         lo, hi = self.prefix_range(prefix_values)
@@ -337,12 +592,88 @@ class PrefixIndex:
     def iter_tids(self, prefix_values: Sequence[int]) -> Iterator[int]:
         """Yield tids of tuples matching the prefix (key order)."""
         lo, hi = self.prefix_range(prefix_values)
-        tid_span = self._tid_span
+        tid_span = self.codec.tid_span
         for key in self._keys.iter_range(lo, hi):
             yield key % tid_span
 
     def __len__(self) -> int:
         return len(self._keys)
+
+
+class _HeapBlock:
+    """A frozen columnar segment of the tuple heap.
+
+    Holds one identified :class:`TupleBatch` plus a liveness mask; rows are
+    located by bisect on the (strictly increasing) tid vector and turned
+    into :class:`HiddenTuple` objects only on demand.
+    """
+
+    __slots__ = ("batch", "tid_lo", "tid_hi", "alive", "alive_count",
+                 "_tid_list", "_score_list")
+
+    def __init__(self, batch: TupleBatch):
+        self.batch = batch
+        self.tid_lo = int(batch.tids[0])
+        self.tid_hi = int(batch.tids[-1])
+        self.alive = np.ones(len(batch), dtype=bool)
+        self.alive_count = len(batch)
+        # Plain-list twins of the tid/score columns, built lazily on the
+        # first point read: bisect on a list and plain float access beat
+        # per-call numpy scalar boxing on the lookup path queries hammer,
+        # but blocks that are never point-read shouldn't pay for them.
+        self._tid_list: list[int] | None = None
+        self._score_list: list[float] | None = None
+
+    def _tids(self) -> list[int]:
+        tids = self._tid_list
+        if tids is None:
+            tids = self._tid_list = self.batch.tids.tolist()
+            self._score_list = self.batch.scores.tolist()
+        return tids
+
+    def locate(self, tid: int) -> int | None:
+        """Row index of a live tid, or ``None``."""
+        tids = self._tids()
+        row = bisect_left(tids, tid)
+        if row < len(tids) and tids[row] == tid and self.alive[row]:
+            return row
+        return None
+
+    def materialize(self, row: int) -> HiddenTuple:
+        """Build the row's tuple (cheaper than ``batch.materialize``)."""
+        batch = self.batch
+        tids = self._tids()
+        return HiddenTuple(
+            tids[row],
+            batch.values[row].tobytes(),
+            batch.row_measures(row),
+            self._score_list[row],
+        )
+
+    def kill(self, row: int) -> None:
+        self.alive[row] = False
+        self.alive_count -= 1
+
+    def alive_tids(self) -> list[int]:
+        """Tids of the live rows, ascending."""
+        if self.alive_count == len(self.batch):
+            return self.batch.tids.tolist()
+        return self.batch.tids[self.alive].tolist()
+
+    def alive_batch(self) -> TupleBatch:
+        """A compacted batch of just the live rows (for index backfill)."""
+        batch = self.batch
+        if self.alive_count == len(batch):
+            return batch
+        mask = self.alive
+        return TupleBatch(
+            batch.values[mask], batch.measures[mask],
+            batch.tids[mask], batch.scores[mask],
+        )
+
+    def iter_alive(self) -> Iterator[HiddenTuple]:
+        for row in np.flatnonzero(self.alive):
+            yield self.materialize(int(row))
 
 
 class TupleStore:
@@ -358,6 +689,13 @@ class TupleStore:
     buffered batch is applied with one ``bulk_add``/``bulk_remove`` per
     index when the block exits; the tuple heap and the listener stream stay
     exact throughout, so only *index reads* must wait for the block to end.
+
+    The heap is hybrid: per-tuple inserts live in a dict, columnar batches
+    (:meth:`insert_batch`) live in frozen :class:`_HeapBlock` segments whose
+    rows are materialized lazily.  Iteration yields blocks first, then the
+    dict — ascending tid order, enforced: a batch whose tids are not
+    strictly above every existing tid is routed through the per-tuple
+    path, so block tid ranges never interleave the dict or each other.
     """
 
     def __init__(
@@ -370,24 +708,83 @@ class TupleStore:
         self.backend_name = resolve_backend(backend)
         self._block_size = block_size
         self._tuples: dict[int, HiddenTuple] = {}
+        self._blocks: list[_HeapBlock] = []
+        self._block_los: list[int] = []  # sorted tid_lo per block
+        # Materialization cache for block rows: repeat point reads (the
+        # estimators drill overlapping trees) skip locate+materialize.
+        # Bounded by the number of distinct block rows ever read; evicted
+        # on delete/replace of the row.
+        self._materialized: dict[int, HiddenTuple] = {}
+        self._size = 0
         self._indexes: dict[tuple[int, ...], PrefixIndex] = {}
         self._listeners: list[Callable[[str, HiddenTuple], None]] = []
         self._bulk_depth = 0
         self._pending_add: list[HiddenTuple] = []
         self._pending_del: list[HiddenTuple] = []
+        self._pending_batches: list[TupleBatch] = []
 
     def __len__(self) -> int:
-        return len(self._tuples)
+        return self._size
+
+    def _find_block(self, tid: int) -> tuple[_HeapBlock, int] | None:
+        """The block and row holding a live tid, or ``None``.
+
+        One probe suffices: :meth:`insert_batch` rejects overlapping tid
+        ranges, so at most one block can span any tid.
+        """
+        if not self._blocks:
+            return None
+        position = bisect_right(self._block_los, tid) - 1
+        if position < 0:
+            return None
+        block = self._blocks[position]
+        if tid > block.tid_hi:
+            return None
+        row = block.locate(tid)
+        if row is None:
+            return None
+        return block, row
+
+    def _drop_block(self, block: _HeapBlock) -> None:
+        """Release a fully-dead block (long churn must not pin memory)."""
+        position = self._blocks.index(block)
+        del self._blocks[position]
+        del self._block_los[position]
 
     def __contains__(self, tid: int) -> bool:
-        return tid in self._tuples
+        return tid in self._tuples or self._find_block(tid) is not None
 
     def get(self, tid: int) -> HiddenTuple:
-        return self._tuples[tid]
+        found = self._tuples.get(tid)
+        if found is not None:
+            return found
+        found = self._materialized.get(tid)
+        if found is not None:
+            return found
+        located = self._find_block(tid)
+        if located is None:
+            raise KeyError(tid)
+        block, row = located
+        t = block.materialize(row)
+        self._materialized[tid] = t
+        return t
 
     def tuples(self) -> Iterator[HiddenTuple]:
-        """Iterate over all stored tuples (no particular order)."""
-        return iter(self._tuples.values())
+        """Iterate over all stored tuples (blocks first, then the dict)."""
+        for block in self._blocks:
+            yield from block.iter_alive()
+        yield from self._tuples.values()
+
+    def segments(self) -> tuple[list[TupleBatch], list[HiddenTuple]]:
+        """The heap as columnar segments plus the scalar remainder.
+
+        Simulator-side observers (exact ground truth) use this to evaluate
+        bulk-loaded content vectorized instead of materializing it.
+        """
+        return (
+            [block.alive_batch() for block in self._blocks],
+            list(self._tuples.values()),
+        )
 
     def subscribe(self, listener: Callable[[str, HiddenTuple], None]) -> None:
         """Register a mutation listener (``event in {"insert", "delete"}``)."""
@@ -407,15 +804,18 @@ class TupleStore:
                 block_size=self._block_size,
                 backend=self.backend_name,
             )
+            for block in self._blocks:
+                index.bulk_add_batch(block.alive_batch())
             index.bulk_add(self._tuples.values())
             self._indexes[key] = index
         return index
 
     def insert(self, t: HiddenTuple) -> None:
         """Insert a tuple; tids must be unique for the store's lifetime."""
-        if t.tid in self._tuples:
+        if t.tid in self._tuples or self._find_block(t.tid) is not None:
             raise SchemaError(f"duplicate tid {t.tid}")
         self._tuples[t.tid] = t
+        self._size += 1
         if self._bulk_depth:
             self._pending_add.append(t)
         else:
@@ -424,9 +824,77 @@ class TupleStore:
         for listener in self._listeners:
             listener("insert", t)
 
+    def insert_batch(self, batch: TupleBatch) -> int:
+        """Insert an identified columnar batch in one heap/index operation.
+
+        Semantically identical to inserting the materialized tuples one by
+        one (and degrades to exactly that under the scalar data plane), but
+        on the vectorized plane no per-tuple Python object is built unless
+        a mutation listener is subscribed.
+        """
+        n = len(batch)
+        if n == 0:
+            return 0
+        if batch.tids is None or batch.scores is None:
+            raise SchemaError("insert_batch requires an identified batch")
+        if get_data_plane() == "scalar":
+            with self.bulk():
+                for t in batch.iter_tuples():
+                    self.insert(t)
+            return n
+        if n > 1 and not bool(np.all(np.diff(batch.tids) > 0)):
+            raise SchemaError("batch tids must be strictly increasing")
+        tid_lo = int(batch.tids[0])
+        if self._tuples or (
+            self._blocks and tid_lo <= self._blocks[-1].tid_hi
+        ):
+            # A new block would iterate before existing dict rows (blocks
+            # come first) or interleave existing blocks, breaking the
+            # ascending-tid heap invariant that keeps block lookups a
+            # single probe and iteration order identical to the scalar
+            # plane — route such batches through the per-tuple path,
+            # which behaves exactly like the scalar plane by construction
+            # (including its duplicate-tid check).
+            with self.bulk():
+                for t in batch.iter_tuples():
+                    self.insert(t)
+            return n
+        # The block owns private copies: callers may reuse the batch (or
+        # load it into several databases), and replace() mutates block
+        # columns in place.
+        block = _HeapBlock(
+            TupleBatch(
+                batch.values.copy(), batch.measures.copy(),
+                batch.tids.copy(), batch.scores.copy(),
+            )
+        )
+        self._blocks.append(block)
+        self._block_los.append(block.tid_lo)
+        self._size += n
+        if self._bulk_depth:
+            self._pending_batches.append(block.batch)
+        else:
+            for index in self._indexes.values():
+                index.bulk_add_batch(block.batch)
+        if self._listeners:
+            for t in block.batch.iter_tuples():
+                for listener in self._listeners:
+                    listener("insert", t)
+        return n
+
     def delete(self, tid: int) -> HiddenTuple:
         """Delete by tid and return the removed tuple."""
-        t = self._tuples.pop(tid)
+        t = self._tuples.pop(tid, None)
+        if t is None:
+            located = self._find_block(tid)
+            if located is None:
+                raise KeyError(tid)
+            block, row = located
+            t = self._materialized.pop(tid, None) or block.materialize(row)
+            block.kill(row)
+            if block.alive_count == 0:
+                self._drop_block(block)
+        self._size -= 1
         if self._bulk_depth:
             self._pending_del.append(t)
         else:
@@ -459,11 +927,19 @@ class TupleStore:
                 self._flush_pending()
 
     def _flush_pending(self) -> None:
-        if not self._pending_add and not self._pending_del:
+        if (
+            not self._pending_add
+            and not self._pending_del
+            and not self._pending_batches
+        ):
             return
         adds, dels = self._pending_add, self._pending_del
+        batches = self._pending_batches
         self._pending_add, self._pending_del = [], []
+        self._pending_batches = []
         for index in self._indexes.values():
+            for batch in batches:
+                index.bulk_add_batch(batch)
             if adds:
                 index.bulk_add(adds)
             if dels:
@@ -485,21 +961,49 @@ class TupleStore:
 
     def replace(self, t: HiddenTuple) -> None:
         """Swap the stored tuple with the same tid (measure updates)."""
-        old = self._tuples[t.tid]
+        old = self._tuples.get(t.tid)
+        block_row: tuple[_HeapBlock, int] | None = None
+        if old is None:
+            block_row = self._find_block(t.tid)
+            if block_row is None:
+                raise KeyError(t.tid)
+            block, row = block_row
+            old = block.materialize(row)
         if old.values != t.values:
             # Categorical change moves the tuple in every index; model it
             # as delete + insert so indexes and listeners stay consistent.
             self.delete(old.tid)
             self.insert(t)
             return
-        self._tuples[t.tid] = t
+        if block_row is not None:
+            # Update the frozen block's columns in place: index keys
+            # depend only on (values, tid), and keeping the row in its
+            # block preserves heap iteration order — and therefore the
+            # scalar-plane parity of ``random_tids`` — under measure
+            # drift.
+            block, row = block_row
+            block.batch.measures[row] = t.measures
+            block.batch.scores[row] = t.score
+            if block._score_list is not None:
+                block._score_list[row] = t.score
+            self._materialized.pop(t.tid, None)
+        else:
+            self._tuples[t.tid] = t
         for listener in self._listeners:
             listener("delete", old)
             listener("insert", t)
 
     def random_tids(self, rng, count: int) -> list[int]:
-        """Sample ``count`` distinct tids uniformly (for deletion schedules)."""
-        population = list(self._tuples.keys())
+        """Sample ``count`` distinct tids uniformly (for deletion schedules).
+
+        The population is composed blocks-first then dict, which keeps it
+        ascending by tid in every supported flow — so the sampled sequence
+        is identical between the scalar and vectorized load paths.
+        """
+        population: list[int] = []
+        for block in self._blocks:
+            population.extend(block.alive_tids())
+        population.extend(self._tuples.keys())
         if count >= len(population):
             return population
         return rng.sample(population, count)

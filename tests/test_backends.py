@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import random
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -250,3 +251,107 @@ def test_backend_parity_on_seeded_churn_workload():
     assert blocked[1] == packed[1]  # prefix counts
     for left, right in zip(blocked[0], packed[0]):
         assert left == right  # predicates, status (overflow flag), page tids
+
+
+# ----------------------------------------------------------------------
+# Array-native bulk fast paths
+# ----------------------------------------------------------------------
+class TestArrayBulkPaths:
+    """ndarray batches must behave exactly like iterable batches."""
+
+    def _fresh(self, name):
+        if name == "blocked":
+            return SortedKeyList()
+        return PackedArrayBackend(key_bound=2**40)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_array_bulk_add_matches_iterable(self, name):
+        rng = random.Random(13)
+        keys = [rng.randrange(0, 1000) for _ in range(500)]
+        via_array = self._fresh(name)
+        via_array.bulk_add(np.array(keys, dtype=np.int64))
+        via_iter = self._fresh(name)
+        via_iter.bulk_add(keys)
+        via_array.check_invariants()
+        assert list(via_array) == list(via_iter) == sorted(keys)
+        assert len(via_array) == 500
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_array_bulk_remove_matches_iterable(self, name):
+        rng = random.Random(29)
+        keys = sorted(rng.randrange(0, 200) for _ in range(300))
+        victims = rng.sample(keys, 120)
+        via_array = self._fresh(name)
+        via_array.bulk_add(np.array(keys, dtype=np.int64))
+        via_array.bulk_remove(np.array(victims, dtype=np.int64))
+        via_iter = self._fresh(name)
+        via_iter.bulk_add(keys)
+        via_iter.bulk_remove(victims)
+        via_array.check_invariants()
+        via_iter.check_invariants()
+        assert list(via_array) == list(via_iter)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_array_bulk_remove_missing_raises_and_preserves(self, name):
+        backend = self._fresh(name)
+        backend.bulk_add(np.array([1, 3, 3, 7], dtype=np.int64))
+        with pytest.raises(ValueError):
+            backend.bulk_remove(np.array([3, 3, 3], dtype=np.int64))
+        with pytest.raises(ValueError):
+            backend.bulk_remove(np.array([2], dtype=np.int64))
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_array_ops_interleave_with_scalar_ops(self, name):
+        backend = self._fresh(name)
+        backend.add(50)
+        backend.bulk_add(np.arange(0, 100, 2, dtype=np.int64))
+        backend.remove(50)
+        backend.bulk_remove(np.arange(0, 50, 2, dtype=np.int64))
+        backend.check_invariants()
+        assert list(backend) == list(range(50, 100, 2))
+        assert backend.rank(60) == 5
+        assert backend.count_range(50, 60) == 5
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_empty_array_batches_are_noops(self, name):
+        backend = self._fresh(name)
+        backend.bulk_add(np.empty(0, dtype=np.int64))
+        backend.bulk_remove(np.empty(0, dtype=np.int64))
+        assert len(backend) == 0
+
+    def test_unpacked_engine_routes_array_to_generic_path(self):
+        backend = PackedArrayBackend(key_bound=2**300)
+        assert not backend.is_packed
+        backend.bulk_add(np.array([5, 1, 5], dtype=np.int64))
+        backend.check_invariants()
+        assert list(backend) == [1, 5, 5]
+        backend.bulk_remove(np.array([5, 5], dtype=np.int64))
+        assert list(backend) == [1]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), max_size=80),
+        st.data(),
+    )
+    def test_property_array_parity(self, keys, data):
+        for name in BACKENDS:
+            backend = self._fresh(name)
+            backend.bulk_add(np.array(keys, dtype=np.int64))
+            backend.check_invariants()
+            assert list(backend) == sorted(keys)
+            if keys:
+                victims = data.draw(
+                    st.lists(st.sampled_from(keys), max_size=len(keys)),
+                    label=f"victims-{name}",
+                )
+                from collections import Counter
+
+                removable = []
+                budget = Counter(keys)
+                for key in victims:
+                    if budget[key] > 0:
+                        budget[key] -= 1
+                        removable.append(key)
+                backend.bulk_remove(np.array(removable, dtype=np.int64))
+                backend.check_invariants()
+                assert list(backend) == sorted(budget.elements())

@@ -1,0 +1,144 @@
+"""Property tests for the vectorized mixed-radix key codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.hiddendb.store import KeyCodec
+
+
+def _random_codec_inputs(draw, max_attrs, max_radix, tid_span):
+    num_attrs = draw(st.integers(min_value=1, max_value=max_attrs))
+    radices = draw(
+        st.lists(
+            st.integers(min_value=2, max_value=max_radix),
+            min_size=num_attrs, max_size=num_attrs,
+        )
+    )
+    order = draw(st.permutations(list(range(num_attrs))))
+    n = draw(st.integers(min_value=0, max_value=40))
+    rows = [
+        [draw(st.integers(min_value=0, max_value=r - 1)) for r in radices]
+        for _ in range(n)
+    ]
+    tids = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=tid_span - 1),
+                min_size=n, max_size=n, unique=True,
+            )
+        )
+    )
+    return radices, order, rows, tids
+
+
+@st.composite
+def narrow_cases(draw):
+    # Small radices and a small tid span: the whole universe fits int64.
+    return _random_codec_inputs(draw, max_attrs=6, max_radix=8, tid_span=2**20)
+
+
+@st.composite
+def wide_cases(draw):
+    # Forty-plus digits blow far past 64 bits -> the limb fallback path.
+    return _random_codec_inputs(
+        draw, max_attrs=48, max_radix=9, tid_span=2**48
+    )
+
+
+class TestEncodeMany:
+    @settings(max_examples=60, deadline=None)
+    @given(narrow_cases())
+    def test_int64_path_matches_scalar(self, case):
+        radices, order, rows, tids = case
+        codec = KeyCodec(
+            [radices[a] for a in order], order, tid_span=2**20
+        )
+        values = np.array(rows, dtype=np.uint8).reshape(len(rows), len(radices))
+        keys = codec.encode_many(values, np.array(tids, dtype=np.int64))
+        assert keys.dtype == np.int64
+        expected = [
+            codec.encode(bytes(row), tid) for row, tid in zip(rows, tids)
+        ]
+        assert keys.tolist() == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(wide_cases())
+    def test_wide_fallback_matches_scalar(self, case):
+        radices, order, rows, tids = case
+        codec = KeyCodec(
+            [radices[a] for a in order], order, tid_span=2**48
+        )
+        values = np.array(rows, dtype=np.uint8).reshape(len(rows), len(radices))
+        keys = codec.encode_many(values, np.array(tids, dtype=np.int64))
+        expected = [
+            codec.encode(bytes(row), tid) for row, tid in zip(rows, tids)
+        ]
+        assert list(keys) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.one_of(narrow_cases(), wide_cases()))
+    def test_round_trip_decode(self, case):
+        radices, order, rows, tids = case
+        tid_span = 2**48
+        codec = KeyCodec([radices[a] for a in order], order, tid_span)
+        values = np.array(rows, dtype=np.uint8).reshape(len(rows), len(radices))
+        tid_vec = np.array(tids, dtype=np.int64) % tid_span
+        keys = codec.encode_many(values, tid_vec)
+        decoded_values, decoded_tids = codec.decode_many(keys)
+        assert np.array_equal(decoded_values, values)
+        assert decoded_tids.tolist() == tid_vec.tolist()
+
+
+class TestEdgeCases:
+    def test_empty_batch_encodes_to_empty_int64(self):
+        codec = KeyCodec((3, 5), (0, 1), tid_span=100)
+        keys = codec.encode_many(
+            np.empty((0, 2), dtype=np.uint8), np.empty(0, dtype=np.int64)
+        )
+        assert keys.dtype == np.int64 and len(keys) == 0
+        values, tids = codec.decode_many(keys)
+        assert values.shape == (0, 2) and len(tids) == 0
+
+    def test_empty_batch_on_wide_codec(self):
+        codec = KeyCodec((200,) * 12, tuple(range(12)), tid_span=2**48)
+        assert not codec.fits_int64
+        keys = codec.encode_many(
+            np.empty((0, 12), dtype=np.uint8), np.empty(0, dtype=np.int64)
+        )
+        assert len(keys) == 0
+
+    def test_fits_int64_boundary(self):
+        # 2**14 values * 2**48 tid span = exactly 2**62 keys: fits.
+        assert KeyCodec((2,) * 14, tuple(range(14)), 2**48).fits_int64
+        # One more doubling pushes the bound to 2**63: still fits (keys
+        # are < bound), but beyond that the wide path takes over.
+        assert KeyCodec((2,) * 15, tuple(range(15)), 2**48).fits_int64
+        assert not KeyCodec((2,) * 16, tuple(range(16)), 2**48).fits_int64
+
+    def test_wide_path_returns_python_ints(self):
+        codec = KeyCodec((7,) * 50, tuple(range(50)), tid_span=2**48)
+        values = np.full((3, 50), 6, dtype=np.uint8)
+        keys = codec.encode_many(values, np.array([0, 1, 2]))
+        assert keys.dtype == object
+        assert all(isinstance(k, int) for k in keys.tolist())
+        assert keys[2] - keys[1] == 1  # tid is the least significant digit
+
+    def test_length_mismatch_rejected(self):
+        codec = KeyCodec((3, 5), (0, 1), tid_span=100)
+        with pytest.raises(SchemaError):
+            codec.encode_many(
+                np.zeros((2, 2), dtype=np.uint8), np.zeros(3, dtype=np.int64)
+            )
+
+    def test_attr_order_permutes_digits(self):
+        codec = KeyCodec((5, 3), (1, 0), tid_span=10)
+        # order (1, 0): attribute 1 is the most significant digit.
+        key = codec.encode(bytes([2, 4]), tid=7)
+        assert key == ((4 * 3) + 2) * 10 + 7
+        keys = codec.encode_many(
+            np.array([[2, 4]], dtype=np.uint8), np.array([7])
+        )
+        assert keys.tolist() == [key]
