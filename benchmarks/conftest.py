@@ -12,10 +12,13 @@ Environment knobs:
 * ``REPRO_BENCH_TRIALS``  — trials to average per experiment (default 2)
 * ``REPRO_BENCH_BACKEND`` — storage backend for every simulated database
   (``blocked`` | ``packed``; default: the package default, ``blocked``)
-* ``REPRO_DATA_PLANE``    — tuple pipeline used for bulk loads
-  (``vectorized`` | ``scalar``; default ``vectorized``).  The scalar plane
-  is the per-tuple reference path; CI keeps timing it so the two stay
-  comparable across commits.
+* ``REPRO_DATA_PLANE``    — data plane for bulk loads *and* query
+  evaluation (``vectorized`` | ``scalar``; default ``vectorized``).  The
+  vectorized setting selects the columnar query plane (vector candidate
+  gather + ``np.argpartition`` page selection, deferred materialization);
+  ``scalar`` is the per-tuple reference path.  CI times both so the two
+  stay comparable across commits (the perf gate reads
+  ``benchmarks/baselines.json``).
 
 Each run additionally drops a machine-readable ``BENCH_<figure>.json``
 next to the working directory (wall time, backend, query counts, series)

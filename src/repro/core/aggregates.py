@@ -109,6 +109,11 @@ class AggregateSpec:
         When the tree does *not* contain this spec's pushdown predicates
         (shared drill-downs for several aggregates), the predicates are
         applied tuple-wise instead — still unbiased, just higher variance.
+
+        A result carrying a deferred columnar page (the columnar query
+        plane) is totalled from its column vectors when this spec has a
+        columnar evaluation — COUNT reads just the page size, SUM one
+        ordered cumsum — without materialising a single tuple.
         """
         result = outcome.result
         if result.underflow:
@@ -117,6 +122,11 @@ class AggregateSpec:
             tree.fixed.get(a) == v
             for a, v in self.interface_predicates.items()
         )
+        page = getattr(result, "page", None)
+        if page is not None:
+            total = self._page_total(page, pushdown_in_tree)
+            if total is not None:
+                return total / tree.selection_probability(outcome.depth)
         if pushdown_in_tree:
             total = sum(self.tuple_value(t) for t in result.tuples)
         else:
@@ -126,6 +136,29 @@ class AggregateSpec:
                 if self.matches_pushdown(t)
             )
         return total / tree.selection_probability(outcome.depth)
+
+    def _page_total(self, page, pushdown_in_tree: bool) -> float | None:
+        """Columnar twin of the page sum; ``None`` = no columnar path.
+
+        Must match the scalar sum bit for bit: values are accumulated in
+        page order with ``np.cumsum`` (sequential adds, the same float
+        operations as the per-tuple ``sum``), and the COUNT shortcut is a
+        float that is exact for any page size.
+        """
+        if self.selection is not None or self.column_f is None:
+            return None
+        if pushdown_in_tree and self.column_f is _ones_column:
+            return float(page.page_size)
+        batch = page.page_batch()
+        values = np.asarray(self.column_f(batch), dtype=np.float64)
+        if not pushdown_in_tree and self.interface_predicates:
+            mask = np.ones(len(values), dtype=bool)
+            for attr_index, value_index in self.interface_predicates.items():
+                mask &= batch.values[:, attr_index] == value_index
+            values = values[mask]
+        if not len(values):
+            return 0.0
+        return float(np.cumsum(values)[-1])
 
     def batch_total(self, batch: TupleBatch, start: float = 0.0) -> float:
         """Exact contribution of a columnar batch (columnar specs only).

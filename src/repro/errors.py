@@ -32,6 +32,18 @@ class QueryBudgetExhausted(ReproError):
         super().__init__(message or f"query budget of {budget} exhausted")
 
 
+class StaleResultError(ReproError):
+    """A deferred result page was read after the database mutated.
+
+    The columnar query plane defers page construction until a consumer
+    reads it; the page is pinned to the database state at query time via a
+    mutation epoch.  Supported workloads read pages before the next
+    mutation (the intra-round driver freezes them through the session
+    hook), so this error marks a flow outside the simulator's contract
+    rather than silently returning post-mutation data.
+    """
+
+
 class EstimationError(ReproError):
     """An estimator cannot produce an estimate (e.g. no completed drill-downs)."""
 

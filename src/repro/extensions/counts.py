@@ -59,6 +59,9 @@ class CountingResult(QueryResult):
             base.k,
             tuples=None,
             loader=lambda: base.tuples,
+            # Forward the columnar plane's deferred page so column-level
+            # consumers (aggregate contributions) keep their fast path.
+            page=base.page,
         )
         self.matching_count = matching_count
 
@@ -105,7 +108,8 @@ class CountRevealingInterface:
         self, query: ConjunctiveQuery, result: QueryResult
     ) -> int:
         if not result.overflow:
-            return len(result.tuples)
+            # len() reads the deferred page's size without materialising it.
+            return len(result)
         prefix = self.inner._match_prefix_order(query)
         if prefix is not None:
             attr_order, prefix_values = prefix

@@ -97,6 +97,13 @@ class StorageBackend(Protocol):
 
     Implementations must support duplicate keys and raise ``ValueError``
     from :meth:`remove` / :meth:`bulk_remove` when a key is absent.
+
+    :meth:`range_keys` (the array-native ``iter_range``, feeding the
+    columnar query plane) is part of the contract and implemented by both
+    shipped engines; :meth:`PrefixIndex.range_tids
+    <repro.hiddendb.store.PrefixIndex.range_tids>` degrades gracefully to
+    ``iter_range`` for third-party engines that predate it, at per-key
+    cost.
     """
 
     def add(self, key: int) -> None: ...
@@ -112,6 +119,8 @@ class StorageBackend(Protocol):
     def count_range(self, lo: int, hi: int) -> int: ...
 
     def iter_range(self, lo: int, hi: int) -> Iterator[int]: ...
+
+    def range_keys(self, lo: int, hi: int) -> "np.ndarray | list[int]": ...
 
     def __len__(self) -> int: ...
 
@@ -364,6 +373,30 @@ class PackedArrayBackend:
             run = self._run
             return iter(run[bisect_left(run, lo):bisect_left(run, hi)])
         return heap_merge(self._iter_live_run(lo, hi), tail_slice)
+
+    def range_keys(self, lo: int, hi: int) -> "np.ndarray | list[int]":
+        """Keys in ``[lo, hi)`` as one vector — array-native ``iter_range``.
+
+        On a packed run with no buffered keys in range this is a zero-copy
+        int64 view of the run slice; otherwise it degrades to a list with
+        the same contents.  Callers must not mutate a returned view
+        (compactions replace the run rather than mutating it, so views
+        taken here stay valid snapshots).
+        """
+        if hi <= lo:
+            return np.empty(0, dtype=np.int64) if self._packed else []
+        tail = self._tail
+        tail_slice = tail[bisect_left(tail, lo):bisect_left(tail, hi)]
+        dead = self._dead
+        if not tail_slice and bisect_left(dead, lo) == bisect_left(dead, hi):
+            run = self._run
+            start, stop = bisect_left(run, lo), bisect_left(run, hi)
+            if self._packed:
+                if not len(run):
+                    return np.empty(0, dtype=np.int64)
+                return np.frombuffer(run, dtype=np.int64)[start:stop]
+            return run[start:stop]
+        return list(heap_merge(self._iter_live_run(lo, hi), tail_slice))
 
     def __iter__(self) -> Iterator[int]:
         yield from heap_merge(self._iter_live_run(), list(self._tail))

@@ -12,15 +12,46 @@ Query evaluation strategy:
   materialised lazily.
 * Otherwise (ad-hoc conjunctions) evaluation falls back to a full scan.
   The scan path doubles as the correctness oracle in property tests.
+
+Two query planes implement both strategies (selected by the process-wide
+``REPRO_DATA_PLANE`` switch, see :mod:`repro.hiddendb.store`):
+
+* **scalar** — the reference plane: per-tuple ``store.get`` plus
+  :func:`~repro.hiddendb.result.top_k_by_score`.  The oracle the parity
+  tests compare against.
+* **columnar** (the ``vectorized`` plane, default) — candidate tids come
+  from the index as vectors (:meth:`PrefixIndex.range_tids`), scan
+  predicates are matched against the frozen blocks' value matrices
+  (:meth:`TupleStore.scan_match`), and a valid result carries a deferred
+  :class:`~repro.hiddendb.result.PageColumns`: page selection
+  (``np.argpartition`` + exact lexsort, tie-broken ``(-score, tid)``
+  exactly like ``top_k_by_score``) and tuple materialisation run only when
+  a consumer reads the page.  Deferred *valid* pages are pinned to the
+  store's mutation epoch and raise
+  :class:`~repro.errors.StaleResultError` rather than reflect post-query
+  state (their scalar twin was computed eagerly); the intra-round update
+  driver is safe because :class:`~repro.hiddendb.session.QuerySession`
+  freezes results before its mutation hook fires.  *Overflow* pages keep
+  the scalar plane's lazy semantics path by path: prefix loaders re-read
+  the current index state at access on both planes, scan loaders rank a
+  query-time snapshot on both planes.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
+from ..errors import StaleResultError
 from .database import HiddenDatabase
 from .query import ConjunctiveQuery
-from .result import QueryResult, QueryStatus, top_k_by_score
+from .result import (
+    PageColumns,
+    QueryResult,
+    QueryStatus,
+    top_k_by_score,
+    top_k_select,
+)
+from .store import get_data_plane
 from .tuples import HiddenTuple
 
 
@@ -43,6 +74,15 @@ class InterfaceStats:
             self.valid += 1
         else:
             self.overflow += 1
+
+    def as_dict(self) -> dict[str, int]:
+        """Counter snapshot (stable keys; used by tests and reports)."""
+        return {
+            "queries": self.queries,
+            "underflow": self.underflow,
+            "valid": self.valid,
+            "overflow": self.overflow,
+        }
 
 
 class TopKInterface:
@@ -106,6 +146,21 @@ class TopKInterface:
                 return attr_order, [wanted[a] for a in head]
         return None
 
+    def _epoch_guarded(self, fetch: Callable) -> Callable:
+        """Pin a deferred column fetch / page load to the current store state."""
+        store = self.db.store
+        epoch = store.mutation_epoch
+
+        def guarded():
+            if store.mutation_epoch != epoch:
+                raise StaleResultError(
+                    "result page read after a database mutation; read "
+                    "pages before mutating (QuerySession freezes them "
+                    "ahead of its on_query hook)"
+                )
+            return fetch()
+        return guarded
+
     def _evaluate_prefix(
         self, attr_order: Sequence[int], prefix_values: list[int]
     ) -> QueryResult:
@@ -114,32 +169,81 @@ class TopKInterface:
         if matching == 0:
             return QueryResult(QueryStatus.UNDERFLOW, self.k, tuples=())
         store = self.db.store
+        if get_data_plane() == "scalar":
+            if matching <= self.k:
+                page = top_k_by_score(
+                    (store.get(tid) for tid in index.iter_tids(prefix_values)),
+                    self.k,
+                )
+                return QueryResult(QueryStatus.VALID, self.k, tuples=page)
+
+            def load_page() -> list[HiddenTuple]:
+                return top_k_by_score(
+                    (store.get(tid) for tid in index.iter_tids(prefix_values)),
+                    self.k,
+                )
+
+            return QueryResult(QueryStatus.OVERFLOW, self.k, loader=load_page)
         if matching <= self.k:
-            page = top_k_by_score(
-                (store.get(tid) for tid in index.iter_tids(prefix_values)),
-                self.k,
+            fetch = self._epoch_guarded(
+                lambda: store.gather(index.range_tids(prefix_values))
             )
-            return QueryResult(QueryStatus.VALID, self.k, tuples=page)
+            return QueryResult(
+                QueryStatus.VALID,
+                self.k,
+                page=PageColumns(matching, self.k, fetch),
+            )
 
         def load_page() -> list[HiddenTuple]:
-            return top_k_by_score(
-                (store.get(tid) for tid in index.iter_tids(prefix_values)),
-                self.k,
-            )
+            # Overflow pages re-read the index at access time on both
+            # planes (leaf-overflow outcomes are read mid-round by the
+            # intra-round driver), so no epoch guard here: the scalar
+            # loader above has the identical read-at-access semantics.
+            rows = store.gather(index.range_tids(prefix_values))
+            batch = rows.batch
+            order = top_k_select(batch.scores, batch.tids, self.k)
+            return [rows.materialize_row(int(row)) for row in order]
 
         return QueryResult(QueryStatus.OVERFLOW, self.k, loader=load_page)
 
     def _evaluate_scan(self, query: ConjunctiveQuery) -> QueryResult:
-        """Reference full-scan evaluation for arbitrary conjunctions."""
-        matches = [t for t in self.db.tuples() if query.matches(t)]
-        if not matches:
-            return QueryResult(QueryStatus.UNDERFLOW, self.k, tuples=())
-        if len(matches) <= self.k:
+        """Full-scan evaluation for arbitrary conjunctions."""
+        if get_data_plane() == "scalar":
+            # Reference path: per-tuple predicate matching over the heap.
+            matches = [t for t in self.db.tuples() if query.matches(t)]
+            if not matches:
+                return QueryResult(QueryStatus.UNDERFLOW, self.k, tuples=())
+            if len(matches) <= self.k:
+                return QueryResult(
+                    QueryStatus.VALID, self.k,
+                    tuples=top_k_by_score(matches, self.k),
+                )
             return QueryResult(
-                QueryStatus.VALID, self.k, tuples=top_k_by_score(matches, self.k)
+                QueryStatus.OVERFLOW,
+                self.k,
+                loader=lambda: top_k_by_score(matches, self.k),
             )
+        store = self.db.store
+        tids, scores = store.scan_match(query.predicates)
+        matching = len(tids)
+        if matching == 0:
+            return QueryResult(QueryStatus.UNDERFLOW, self.k, tuples=())
+        if matching <= self.k:
+            fetch = self._epoch_guarded(lambda: store.gather(tids))
+            return QueryResult(
+                QueryStatus.VALID,
+                self.k,
+                page=PageColumns(matching, self.k, fetch),
+            )
+        # The scalar scan branch captures its match list eagerly and only
+        # ranks it on access; mirror that snapshot semantics exactly by
+        # selecting and gathering the page rows now (k rows — cheap next
+        # to the scan itself) and deferring just the materialization.
+        rows = store.gather(tids[top_k_select(scores, tids, self.k)])
         return QueryResult(
             QueryStatus.OVERFLOW,
             self.k,
-            loader=lambda: top_k_by_score(matches, self.k),
+            loader=lambda: [
+                rows.materialize_row(row) for row in range(len(rows))
+            ],
         )

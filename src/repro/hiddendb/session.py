@@ -50,6 +50,11 @@ class QuerySession:
         return self.interface.backend
 
     @property
+    def stats(self):
+        """The interface's query counters (simulator-side metadata)."""
+        return self.interface.stats
+
+    @property
     def remaining(self) -> int | None:
         """Queries left in the budget (None = unlimited)."""
         if self.budget is None:
@@ -78,6 +83,11 @@ class QuerySession:
             raise QueryBudgetExhausted(self.budget or 0)
         self.queries_used += 1
         result = self.interface.search(query)
+        if self._on_query is not None:
+            # The hook mutates the database (intra-round update model), so
+            # pin the columnar plane's deferred page to pre-mutation state
+            # before it fires — mirroring the scalar plane's eager pages.
+            result.freeze()
         if self.cache_within_round:
             self._cache[query] = result
         if self._on_query is not None:

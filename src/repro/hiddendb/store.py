@@ -58,6 +58,7 @@ from .tuples import HiddenTuple, TupleBatch
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
+    "GatheredRows",
     "KeyCodec",
     "PrefixIndex",
     "SortedKeyList",
@@ -315,6 +316,27 @@ class SortedKeyList:
                     return
                 yield key
             block_index += 1
+
+    def range_keys(self, lo: int, hi: int) -> list[int]:
+        """Keys in ``[lo, hi)`` as one list — array-native ``iter_range``.
+
+        Block-sliced (C-level copies) instead of a per-key generator.
+        """
+        if hi <= lo:
+            return []
+        out: list[int] = []
+        block_index = self._locate_block(lo)
+        while block_index < len(self._blocks):
+            block = self._blocks[block_index]
+            if block[0] >= hi:
+                break
+            start = bisect_left(block, lo) if block[0] < lo else 0
+            if block[-1] >= hi:
+                out.extend(block[start:bisect_left(block, hi)])
+                break
+            out.extend(block[start:] if start else block)
+            block_index += 1
+        return out
 
     def __iter__(self) -> Iterator[int]:
         for block in self._blocks:
@@ -596,6 +618,30 @@ class PrefixIndex:
         for key in self._keys.iter_range(lo, hi):
             yield key % tid_span
 
+    def range_tids(self, prefix_values: Sequence[int]) -> np.ndarray:
+        """Matching tids as an int64 vector — array-native ``iter_tids``.
+
+        One vectorized modulo when the backend hands back an int64 key
+        array (packed narrow schemas); a per-key modulo over a block-sliced
+        key list otherwise (wide schemas exceed int64).  Backends without
+        :meth:`~repro.hiddendb.backends.StorageBackend.range_keys` degrade
+        to ``iter_range``.
+        """
+        lo, hi = self.prefix_range(prefix_values)
+        range_keys = getattr(self._keys, "range_keys", None)
+        if range_keys is not None:
+            keys = range_keys(lo, hi)
+        else:  # minimal custom engines: same contents, per-key cost
+            keys = list(self._keys.iter_range(lo, hi))
+        tid_span = self.codec.tid_span
+        if isinstance(keys, np.ndarray):
+            return keys % tid_span
+        return np.fromiter(
+            (key % tid_span for key in keys),
+            dtype=np.int64,
+            count=len(keys),
+        )
+
     def __len__(self) -> int:
         return len(self._keys)
 
@@ -676,6 +722,39 @@ class _HeapBlock:
             yield self.materialize(int(row))
 
 
+class GatheredRows:
+    """Columnar gather result plus exact per-row materialization.
+
+    ``batch`` holds the gathered column vectors (page selection and
+    column-level aggregation read these).  Rows that were resolved from
+    the per-tuple dict keep their original :class:`HiddenTuple` objects in
+    ``row_objects`` so materialization is bit-exact even for rows the
+    permissive scalar heap stored with off-schema measure arity; block
+    rows materialize from the columns.
+    """
+
+    __slots__ = ("batch", "row_objects")
+
+    def __init__(
+        self,
+        batch: TupleBatch,
+        row_objects: dict[int, HiddenTuple] | None = None,
+    ):
+        self.batch = batch
+        self.row_objects = row_objects
+
+    def __len__(self) -> int:
+        return len(self.batch)
+
+    def materialize_row(self, row: int) -> HiddenTuple:
+        """The row's tuple — the stored object when one exists."""
+        if self.row_objects is not None:
+            found = self.row_objects.get(row)
+            if found is not None:
+                return found
+        return self.batch.materialize(row)
+
+
 class TupleStore:
     """Tuple heap plus registered prefix indexes and a mutation stream.
 
@@ -716,6 +795,9 @@ class TupleStore:
         # on delete/replace of the row.
         self._materialized: dict[int, HiddenTuple] = {}
         self._size = 0
+        # Bumped on every content mutation; deferred result pages capture
+        # it at query time so a late read can detect staleness.
+        self._epoch = 0
         self._indexes: dict[tuple[int, ...], PrefixIndex] = {}
         self._listeners: list[Callable[[str, HiddenTuple], None]] = []
         self._bulk_depth = 0
@@ -725,6 +807,11 @@ class TupleStore:
 
     def __len__(self) -> int:
         return self._size
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotone counter of content mutations (insert/delete/replace)."""
+        return self._epoch
 
     def _find_block(self, tid: int) -> tuple[_HeapBlock, int] | None:
         """The block and row holding a live tid, or ``None``.
@@ -786,6 +873,132 @@ class TupleStore:
             list(self._tuples.values()),
         )
 
+    def gather(self, tids: np.ndarray) -> "GatheredRows":
+        """Columnar copy of the given live rows, in input order.
+
+        The columnar query plane's page fetch: block rows are located with
+        one ``searchsorted`` per intersecting block and copied with fancy
+        indexing; rows living in the per-tuple dict (scalar inserts,
+        value-changing replaces) are filled in per tid and keep their
+        original :class:`HiddenTuple` objects for exact materialization.
+        Raises ``KeyError`` when a tid is not live — deferred pages guard
+        against that with the mutation epoch before calling.
+        """
+        tids = np.asarray(tids, dtype=np.int64)
+        n = len(tids)
+        num_attributes = self.schema.num_attributes
+        num_measures = len(self.schema.measures)
+        values = np.empty((n, num_attributes), dtype=np.uint8)
+        measures = np.empty((n, num_measures), dtype=np.float64)
+        scores = np.empty(n, dtype=np.float64)
+        if n == 0:
+            return GatheredRows(
+                TupleBatch(values, measures, tids.copy(), scores)
+            )
+        # Resolve against the sorted view; un-permute at the end.
+        order: np.ndarray | None = None
+        sorted_tids = tids
+        if n > 1 and not bool(np.all(tids[1:] >= tids[:-1])):
+            order = np.argsort(tids, kind="stable")
+            sorted_tids = tids[order]
+        resolved = np.zeros(n, dtype=bool)
+        for block in self._blocks:
+            lo = int(np.searchsorted(sorted_tids, block.tid_lo, side="left"))
+            hi = int(np.searchsorted(sorted_tids, block.tid_hi, side="right"))
+            if lo == hi:
+                continue
+            chunk = sorted_tids[lo:hi]
+            batch = block.batch
+            rows = np.searchsorted(batch.tids, chunk)
+            # chunk values are bounded by this block's tid range, so every
+            # position is in range; mismatches / dead rows fall through to
+            # the dict (value-changing replace re-homes a tid there).
+            found = (batch.tids[rows] == chunk) & block.alive[rows]
+            if found.all():
+                values[lo:hi] = batch.values[rows]
+                if num_measures:
+                    measures[lo:hi] = batch.measures[rows]
+                scores[lo:hi] = batch.scores[rows]
+                resolved[lo:hi] = True
+            else:
+                rows = rows[found]
+                values[lo:hi][found] = batch.values[rows]
+                if num_measures:
+                    measures[lo:hi][found] = batch.measures[rows]
+                scores[lo:hi][found] = batch.scores[rows]
+                resolved[lo:hi] = found
+        row_objects: dict[int, HiddenTuple] | None = None
+        if not resolved.all():
+            row_objects = {}
+            for position in np.flatnonzero(~resolved):
+                position = int(position)
+                t = self._tuples.get(int(sorted_tids[position]))
+                if t is None:
+                    raise KeyError(int(sorted_tids[position]))
+                output_row = (
+                    position if order is None else int(order[position])
+                )
+                row_objects[output_row] = t
+                values[position] = np.frombuffer(t.values, dtype=np.uint8)
+                if num_measures:
+                    if len(t.measures) == num_measures:
+                        measures[position] = t.measures
+                    else:
+                        # The permissive scalar heap allows off-schema
+                        # measure arity; columns are best-effort zeros,
+                        # materialization returns the object itself.
+                        measures[position] = 0.0
+                scores[position] = t.score
+        if order is not None:
+            inverse = np.empty(n, dtype=np.intp)
+            inverse[order] = np.arange(n)
+            values = values[inverse]
+            measures = measures[inverse]
+            scores = scores[inverse]
+        return GatheredRows(
+            TupleBatch(values, measures, tids.copy(), scores), row_objects
+        )
+
+    def scan_match(
+        self, predicates: Sequence[tuple[int, int]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Tids and scores of live rows matching an equality conjunction.
+
+        The columnar twin of filtering :meth:`tuples` with
+        ``query.matches``: frozen blocks are matched with one boolean mask
+        over the value matrix, the per-tuple dict per row.  Returns two
+        aligned vectors (int64 tids, float64 scores) — an eager snapshot,
+        taken at query time like the scalar scan's match list.
+        """
+        tid_parts: list[np.ndarray] = []
+        score_parts: list[np.ndarray] = []
+        for block in self._blocks:
+            batch = block.batch
+            mask = None
+            for attr_index, value_index in predicates:
+                term = batch.values[:, attr_index] == value_index
+                mask = term if mask is None else (mask & term)
+            mask = block.alive if mask is None else (mask & block.alive)
+            tid_parts.append(batch.tids[mask])
+            score_parts.append(batch.scores[mask])
+        if self._tuples:
+            dict_tids: list[int] = []
+            dict_scores: list[float] = []
+            for t in self._tuples.values():
+                values = t.values
+                if all(values[a] == v for a, v in predicates):
+                    dict_tids.append(t.tid)
+                    dict_scores.append(t.score)
+            if dict_tids:
+                tid_parts.append(np.asarray(dict_tids, dtype=np.int64))
+                score_parts.append(np.asarray(dict_scores, dtype=np.float64))
+        if not tid_parts:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        return np.concatenate(tid_parts), np.concatenate(score_parts)
+
     def subscribe(self, listener: Callable[[str, HiddenTuple], None]) -> None:
         """Register a mutation listener (``event in {"insert", "delete"}``)."""
         self._listeners.append(listener)
@@ -816,6 +1029,7 @@ class TupleStore:
             raise SchemaError(f"duplicate tid {t.tid}")
         self._tuples[t.tid] = t
         self._size += 1
+        self._epoch += 1
         if self._bulk_depth:
             self._pending_add.append(t)
         else:
@@ -871,6 +1085,7 @@ class TupleStore:
         self._blocks.append(block)
         self._block_los.append(block.tid_lo)
         self._size += n
+        self._epoch += 1
         if self._bulk_depth:
             self._pending_batches.append(block.batch)
         else:
@@ -895,6 +1110,7 @@ class TupleStore:
             if block.alive_count == 0:
                 self._drop_block(block)
         self._size -= 1
+        self._epoch += 1
         if self._bulk_depth:
             self._pending_del.append(t)
         else:
@@ -989,6 +1205,7 @@ class TupleStore:
             self._materialized.pop(t.tid, None)
         else:
             self._tuples[t.tid] = t
+        self._epoch += 1
         for listener in self._listeners:
             listener("delete", old)
             listener("insert", t)

@@ -1,13 +1,34 @@
-"""Shared fixtures: small, fully-inspectable hidden databases."""
+"""Shared fixtures: small, fully-inspectable hidden databases.
+
+Also implements the ``slow`` marker policy: many-trial statistical tests
+are skipped in the default (tier-1) run and selected explicitly with
+``pytest -m slow`` or ``REPRO_RUN_SLOW=1`` (the CI coverage job sets the
+latter so coverage includes them).
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
 
 from repro import Attribute, HiddenDatabase, Schema, TopKInterface
 from repro.hiddendb.session import QuerySession
+
+
+def pytest_collection_modifyitems(config, items):
+    run_slow = os.environ.get("REPRO_RUN_SLOW", "").lower() not in (
+        "", "0", "false", "no",
+    )
+    if config.option.markexpr or run_slow:
+        return  # an explicit -m expression (or the env knob) decides
+    skip_slow = pytest.mark.skip(
+        reason="slow statistical test; run with -m slow or REPRO_RUN_SLOW=1"
+    )
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture

@@ -157,6 +157,28 @@ class TestPackedArrayBackend:
         with pytest.raises(ValueError):
             keys.bulk_remove([1, 999_999])
 
+    def test_range_keys_zero_copy_and_buffered_paths(self):
+        import numpy as np
+
+        keys = PackedArrayBackend(range(0, 100, 2), key_bound=1000,
+                                  min_buffer=512)
+        clean = keys.range_keys(10, 30)
+        assert isinstance(clean, np.ndarray)  # packed run slice
+        assert clean.tolist() == list(range(10, 30, 2))
+        keys.add(11)       # buffered tail key inside the range
+        keys.remove(12)    # buffered dead key inside the range
+        merged = keys.range_keys(10, 30)
+        assert list(merged) == [10, 11, 14, 16, 18, 20, 22, 24, 26, 28]
+        assert list(merged) == list(keys.iter_range(10, 30))
+        assert list(keys.range_keys(30, 10)) == []
+
+    def test_range_keys_wide_key_list_path(self):
+        keys = PackedArrayBackend(key_bound=2**200, min_buffer=512)
+        huge = 2**180
+        keys.bulk_add([huge, huge + 2, huge + 4])
+        assert keys.range_keys(huge, huge + 3) == [huge, huge + 2]
+        assert keys.range_keys(huge + 5, huge) == []
+
 
 # ----------------------------------------------------------------------
 # Backend parity: same ops, same answers
@@ -195,6 +217,11 @@ def test_backends_agree_on_random_op_streams(operations):
         assert list(engine.iter_range(5, 30)) == [
             v for v in reference if 5 <= v < 30
         ], name
+        # The array-native variant returns the same contents for any range.
+        for lo, hi in ((5, 30), (0, 51), (10, 10), (30, 5)):
+            assert list(engine.range_keys(lo, hi)) == list(
+                engine.iter_range(lo, hi)
+            ), name
 
 
 def _seeded_churn(backend: str, rounds: int = 6):

@@ -69,6 +69,60 @@ class TestStats:
         assert interface.stats.valid == 1
         assert interface.stats.underflow == 1
 
+    def test_record_unit(self):
+        """Direct unit coverage of the counter state machine."""
+        from repro.hiddendb.interface import InterfaceStats
+
+        stats = InterfaceStats()
+        assert stats.as_dict() == {
+            "queries": 0, "underflow": 0, "valid": 0, "overflow": 0,
+        }
+        for status, repeats in (
+            (QueryStatus.VALID, 3),
+            (QueryStatus.UNDERFLOW, 2),
+            (QueryStatus.OVERFLOW, 4),
+        ):
+            for _ in range(repeats):
+                stats.record(status)
+        assert stats.as_dict() == {
+            "queries": 9, "underflow": 2, "valid": 3, "overflow": 4,
+        }
+        assert stats.queries == (
+            stats.underflow + stats.valid + stats.overflow
+        )
+
+    def test_tallies_identical_across_query_planes(self, small_schema):
+        """The columnar plane classifies every query exactly like the
+        scalar oracle, so the VALID/OVERFLOW/EMPTY tallies must match."""
+        from repro.hiddendb.store import using_data_plane
+
+        queries = [
+            ConjunctiveQuery.root(),
+            ConjunctiveQuery([(0, 0)]),
+            ConjunctiveQuery([(0, 1), (1, 2)]),
+            ConjunctiveQuery([(0, 1), (1, 2), (2, 3)]),
+            ConjunctiveQuery([(2, 2)]),  # scan path
+        ]
+
+        def tallies(plane):
+            with using_data_plane(plane):
+                db = HiddenDatabase(small_schema)
+                fill_random(db, 80, seed=4)
+                interface = TopKInterface(db, k=6)
+                interface.register_attr_order((0, 1, 2))
+                for query in queries:
+                    interface.search(query)
+                return interface.stats.as_dict()
+
+        columnar = tallies("vectorized")
+        assert columnar == tallies("scalar")
+        assert columnar["queries"] == len(queries)
+
+    def test_session_exposes_interface_stats(self, open_session):
+        open_session.search(ConjunctiveQuery.root())
+        assert open_session.stats is open_session.interface.stats
+        assert open_session.stats.queries == 1
+
 
 class TestPrefixVsScan:
     def test_prefix_path_equals_scan_path(self, small_db):

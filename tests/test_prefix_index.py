@@ -71,6 +71,27 @@ class TestCounting:
             ]
             assert index.count_prefix(prefix) == len(expected)
             assert sorted(index.iter_tids(prefix)) == sorted(expected)
+            # Array-native variant: same tids, same (key) order.
+            assert index.range_tids(prefix).tolist() == list(
+                index.iter_tids(prefix)
+            )
+
+    def test_range_tids_wide_keys(self):
+        """Schemas whose keys exceed int64 use the per-key modulo path."""
+        schema = Schema([Attribute(f"a{i}", 7) for i in range(30)])
+        index = PrefixIndex(schema, tuple(range(30)))
+        assert not index.codec.fits_int64
+        rng = random.Random(5)
+        tuples = [
+            make_tuple(tid, [rng.randrange(7) for _ in range(30)])
+            for tid in range(50)
+        ]
+        for t in tuples:
+            index.add(t)
+        for prefix in ([], [3], [3, 1]):
+            assert index.range_tids(prefix).tolist() == list(
+                index.iter_tids(prefix)
+            )
 
     def test_remove_updates_counts(self, small_schema):
         index = PrefixIndex(small_schema, (0, 1, 2))
