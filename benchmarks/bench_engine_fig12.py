@@ -1,0 +1,79 @@
+"""Figure 12 at one size, driven *purely* through the ``repro.api`` facade.
+
+The other figure benchmarks reach the engine through ``Experiment``; this
+one builds an :class:`~repro.api.Engine` directly — config object, task
+submission, churn via ``apply_updates`` — so the perf gate times the
+public facade path end to end and a facade-layer regression cannot hide
+behind the harness.
+"""
+
+import random
+
+from repro.api import Engine, EngineConfig, EstimationTask
+from repro.core.aggregates import count_all
+from repro.data.schedules import FreshTupleSchedule, apply_round
+from repro.data.synthetic import skewed_source
+from repro.experiments.figures.common import FigureResult
+from repro.experiments.ground_truth import GroundTruthTracker
+from repro.experiments.metrics import relative_error
+
+ALGORITHMS = ("RESTART", "REISSUE", "RS")
+
+
+def run_engine_fig12(
+    n: int = 100_000,
+    rounds: int = 8,
+    budget: int = 500,
+    k: int = 100,
+    seed: int = 0,
+) -> FigureResult:
+    """fig12's m=50 workload at one size, one engine, three tenants."""
+    domain_sizes = [2 + (i % 7) for i in range(50)]
+    source = skewed_source(domain_sizes, exponent=0.4, seed=seed)
+    engine = Engine(
+        EngineConfig(k=k, budget_per_round=budget, seed=seed),
+        schema=source.schema,
+    )
+    engine.load(source.batch_columns(n))
+    schedule = FreshTupleSchedule(
+        source,
+        inserts_per_round=max(1, n // 500),
+        delete_fraction=0.001,
+    )
+    specs = [count_all()]
+    tracker = GroundTruthTracker(engine.db, specs)
+    for index, algorithm in enumerate(ALGORITHMS):
+        engine.submit(EstimationTask(
+            algorithm, specs, algorithm, seed=seed + 17 + index,
+        ))
+    rng = random.Random(seed + 5)
+    errors: dict[str, list[float]] = {name: [] for name in ALGORITHMS}
+    for position in range(rounds):
+        if position:
+            engine.apply_updates(lambda db: apply_round(db, schedule, rng))
+            engine.advance_round()
+        truth = tracker.record_round(engine.current_round)["count"]
+        for name, report in engine.run_round().items():
+            errors[name].append(
+                relative_error(report.estimates["count"], truth)
+            )
+    return FigureResult(
+        "engine_fig12",
+        f"fig12 n={n} via repro.api.Engine",
+        x_label="round",
+        y_label="relative error",
+        xs=list(range(1, rounds + 1)),
+        series=errors,
+        meta={"budget_ledger": engine.budget_ledger()},
+    )
+
+
+def test_engine_fig12(figure_bench):
+    figure = figure_bench(run_engine_fig12)
+    ledger = figure.meta["budget_ledger"]
+    for name in ALGORITHMS:
+        # Budget accounting: every tenant spent within its per-round cap.
+        assert ledger[name]["queries_total"] <= 500 * 8
+        # Sanity on accuracy: tracked COUNT stays in the right ballpark.
+        tail = figure.series[name][-3:]
+        assert all(error < 1.0 for error in tail), (name, tail)

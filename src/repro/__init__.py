@@ -5,23 +5,35 @@ Das (VLDB 2014): estimate and track COUNT / SUM / AVG aggregates over a
 database hidden behind a restrictive top-k search interface with a per-round
 query budget, while the database changes between rounds.
 
-Quick start::
+Quick start (the :mod:`repro.api` facade)::
 
-    from repro import (
-        HiddenDatabase, TopKInterface, RsEstimator, count_all,
-    )
+    from repro.api import Engine, EngineConfig, EstimationTask
+    from repro import count_all
     from repro.data import autos_snapshot
 
     schema, payloads = autos_snapshot(total=20_000, seed=7)
-    db = HiddenDatabase(schema)
-    for values, measures in payloads[:18_000]:
-        db.insert(values, measures)
-    interface = TopKInterface(db, k=100)
-    estimator = RsEstimator(interface, [count_all()], budget_per_round=300)
-    report = estimator.run_round()
-    print(report.estimates["count"], "vs truth", len(db))
+    engine = Engine(
+        EngineConfig(k=100, budget_per_round=300, seed=7), schema=schema
+    )
+    engine.load(payloads[:18_000])
+    engine.submit(EstimationTask("census", [count_all()], estimator="RS"))
+    report = engine.run_round()["census"]
+    print(report.estimates["count"], "vs truth", len(engine.db))
+
+The pre-facade entry points (building ``HiddenDatabase`` /
+``TopKInterface`` / estimator classes by hand, ``Experiment`` kwargs)
+remain supported and produce bit-identical estimates — see the migration
+table in the README.
 """
 
+from .api import (
+    Engine,
+    EngineConfig,
+    EstimationTask,
+    available_estimators,
+    register_estimator,
+    resolve_estimator,
+)
 from .core import (
     AggregateSpec,
     ESTIMATOR_CLASSES,
@@ -67,14 +79,17 @@ from .hiddendb import (
     using_backend,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AggregateSpec",
     "Attribute",
     "ConjunctiveQuery",
     "ESTIMATOR_CLASSES",
+    "Engine",
+    "EngineConfig",
     "EstimationError",
+    "EstimationTask",
     "EstimatorBase",
     "ExperimentError",
     "HiddenDatabase",
@@ -97,12 +112,15 @@ __all__ = [
     "SizeChangeSpec",
     "TopKInterface",
     "available_backends",
+    "available_estimators",
     "avg_measure",
     "boolean_schema",
     "count_all",
     "count_where",
     "get_default_backend",
     "proportion_where",
+    "register_estimator",
+    "resolve_estimator",
     "running_average",
     "set_default_backend",
     "size_change",

@@ -1,0 +1,60 @@
+"""``repro.api`` — the unified public facade.
+
+One config object (:class:`EngineConfig`), one service boundary
+(:class:`Engine`), and symmetric registries for storage backends and
+estimators.  The CLI, the experiment harness, and the figure drivers are
+thin clients of this module; everything here is importable as::
+
+    from repro.api import Engine, EngineConfig, EstimationTask
+
+Extension points:
+
+* :func:`register_estimator` — ship a new estimation algorithm under a
+  public name (see :mod:`repro.extensions.counts` for a worked example
+  that adapts the interface before constructing its estimator).
+* :func:`register_backend` — ship a new storage engine behind the prefix
+  indexes (see :mod:`repro.hiddendb.backends`).
+"""
+
+from ..core.estimators.registry import (
+    ESTIMATOR_CLASSES,
+    available_estimators,
+    register_estimator,
+    resolve_estimator,
+)
+from ..hiddendb.backends import (
+    available_backends,
+    get_default_backend,
+    register_backend,
+    set_default_backend,
+    using_backend,
+)
+from ..hiddendb.store import (
+    get_data_plane,
+    overriding_data_plane,
+    set_data_plane,
+    using_data_plane,
+)
+from .config import SEED_POLICIES, EngineConfig
+from .engine import Engine, EstimationTask, TaskHandle
+
+__all__ = [
+    "ESTIMATOR_CLASSES",
+    "Engine",
+    "EngineConfig",
+    "EstimationTask",
+    "SEED_POLICIES",
+    "TaskHandle",
+    "available_backends",
+    "available_estimators",
+    "get_data_plane",
+    "get_default_backend",
+    "overriding_data_plane",
+    "register_backend",
+    "register_estimator",
+    "resolve_estimator",
+    "set_data_plane",
+    "set_default_backend",
+    "using_backend",
+    "using_data_plane",
+]

@@ -1,0 +1,187 @@
+"""One config object for every engine knob.
+
+Before :mod:`repro.api`, the knobs of a simulation were threaded ad hoc:
+``backend=`` kwargs, a process-global data-plane switch, an interface
+``k`` here, a ``budget_per_round`` there, and environment variables
+(``REPRO_DATA_PLANE``, the benchmarks' ``REPRO_BENCH_BACKEND``) that could
+silently override program decisions.  :class:`EngineConfig` consolidates
+them with one documented precedence order, highest first:
+
+1. **Explicit config field** — a non-``None`` value on the
+   :class:`EngineConfig` an :class:`~repro.api.engine.Engine` was built
+   with (or a per-task override on an
+   :class:`~repro.api.engine.EstimationTask`).
+2. **Process-wide programmatic default** — ``set_default_backend`` /
+   ``set_data_plane`` (or their scoped ``using_*`` twins).
+3. **Environment variable** — ``REPRO_DATA_PLANE`` for the data plane.
+   Environment variables are *defaults only*: they never override levels
+   1–2 (see ``tests/test_data_plane_precedence.py``).
+4. **Built-in default** — ``blocked`` storage, ``vectorized`` data plane.
+
+``REPRO_BENCH_BACKEND`` remains a benchmarks-harness convenience (it calls
+``set_default_backend`` at level 2) and is not consulted by the library.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from contextlib import contextmanager
+from typing import Iterator
+from zlib import crc32
+
+from ..errors import ExperimentError, SchemaError
+from ..hiddendb.backends import (
+    DEFAULT_BLOCK_SIZE,
+    get_default_backend,
+    resolve_backend,
+    using_backend,
+)
+from ..hiddendb.store import (
+    DATA_PLANES,
+    get_data_plane,
+    overriding_data_plane,
+)
+
+#: How per-task estimator seeds derive from :attr:`EngineConfig.seed` when
+#: a task does not pin one explicitly.
+SEED_POLICIES = ("per-task", "shared")
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineConfig:
+    """Every knob of an estimation engine, in one JSON-serializable object.
+
+    Parameters
+    ----------
+    backend:
+        Storage backend behind every prefix index of the engine's
+        database.  ``None`` defers to the process default
+        (``set_default_backend``, built-in ``"blocked"``).
+    data_plane:
+        ``"vectorized"`` or ``"scalar"``; scoped around every engine
+        operation.  ``None`` defers to the process default
+        (``set_data_plane`` > ``REPRO_DATA_PLANE`` > ``"vectorized"``).
+    k:
+        Page size of the hidden database's top-k interface.
+    budget_per_round:
+        Default per-round query budget ``G`` a task receives when it does
+        not pin its own ``budget`` or ``budget_share``.
+    seed:
+        Base seed of the engine's seed policy.
+    seed_policy:
+        ``"per-task"`` (default): each task's estimator seed is derived
+        from ``seed`` and the task *name* (stable across runs and
+        submission order).  ``"shared"``: every task uses ``seed``
+        verbatim.  A task's explicit ``seed`` always wins.
+    block_size:
+        Storage-engine block/buffer tuning knob, threaded to the backend.
+    report_log_limit:
+        Upper bound on retained reports: both the engine's execution-order
+        log (drained by ``stream_reports()``) and each task's history on
+        :class:`~repro.api.TaskHandle` drop their oldest entries past it.
+        Budget accounting stays exact regardless (``budget_ledger()``
+        reads O(1) counters).  ``None`` (default) keeps every report —
+        bound it in long-running services.
+    """
+
+    backend: str | None = None
+    data_plane: str | None = None
+    k: int = 100
+    budget_per_round: int = 300
+    seed: int = 0
+    seed_policy: str = "per-task"
+    block_size: int = DEFAULT_BLOCK_SIZE
+    report_log_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ExperimentError("k must be at least 1")
+        if self.budget_per_round < 1:
+            raise ExperimentError("budget_per_round must be positive")
+        if self.block_size < 2:
+            raise ExperimentError("block_size must be at least 2")
+        if self.report_log_limit is not None and self.report_log_limit < 1:
+            raise ExperimentError("report_log_limit must be positive")
+        if self.seed_policy not in SEED_POLICIES:
+            raise ExperimentError(
+                f"unknown seed policy {self.seed_policy!r}; "
+                f"available: {', '.join(SEED_POLICIES)}"
+            )
+        if self.data_plane is not None and self.data_plane not in DATA_PLANES:
+            raise ExperimentError(
+                f"unknown data plane {self.data_plane!r}; "
+                f"available: {', '.join(DATA_PLANES)}"
+            )
+        if self.backend is not None:
+            try:
+                resolve_backend(self.backend)
+            except SchemaError as exc:
+                # One exception surface for every bad config field.
+                raise ExperimentError(str(exc)) from None
+
+    # ------------------------------------------------------------------
+    # Resolution against the process-wide defaults (precedence levels 2-4)
+    # ------------------------------------------------------------------
+    def resolved_backend(self) -> str:
+        """The backend this config selects, after the precedence order."""
+        return self.backend if self.backend is not None else (
+            get_default_backend()
+        )
+
+    def resolved_data_plane(self) -> str:
+        """The data plane this config selects, after the precedence order."""
+        return self.data_plane if self.data_plane is not None else (
+            get_data_plane()
+        )
+
+    @contextmanager
+    def apply(self) -> Iterator["EngineConfig"]:
+        """Scope the active defaults to this config's explicit choices.
+
+        ``None`` fields leave the corresponding default untouched, so
+        wrapping legacy code in ``config.apply()`` is always safe.  A
+        non-``None`` ``data_plane`` becomes a context-local override
+        (:func:`~repro.hiddendb.store.overriding_data_plane`): it governs
+        everything run inside the scope on this thread and is invisible
+        to concurrent threads — no process-global state is mutated.
+        """
+        with using_backend(self.backend), overriding_data_plane(
+            self.data_plane
+        ):
+            yield self
+
+    def task_seed(self, task_name: str, explicit: int | None = None) -> int:
+        """The estimator seed for a named task under the seed policy."""
+        if explicit is not None:
+            return explicit
+        if self.seed_policy == "shared":
+            return self.seed
+        # Stable, submission-order-independent derivation: the same
+        # (config seed, task name) pair always yields the same stream.
+        return self.seed + (crc32(task_name.encode("utf-8")) % 1_000_003)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def replace(self, **changes) -> "EngineConfig":
+        """A copy with the given fields changed (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """A strict-JSON-safe payload; :meth:`from_dict` round-trips it."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EngineConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys raise — a config that crossed a wire with fields this
+        version does not understand must not be silently narrowed.
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ExperimentError(
+                f"unknown EngineConfig fields: {', '.join(sorted(unknown))}"
+            )
+        return cls(**payload)

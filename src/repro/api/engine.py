@@ -1,0 +1,432 @@
+"""The engine facade: one hidden database, many estimation tenants.
+
+The paper's setting is inherently multi-tenant — many analysts track their
+own aggregates over one dynamic hidden database, each through their own
+budgeted connection to the same top-k interface.  :class:`Engine` is that
+service boundary:
+
+* it owns the :class:`~repro.hiddendb.database.HiddenDatabase` and builds
+  one :class:`~repro.hiddendb.interface.TopKInterface` per tenant (budget
+  and query counters are per-tenant, the store is shared);
+* tenants are named :class:`EstimationTask`\\ s — an estimator (resolved
+  through the registry), the aggregates it tracks, and its budget share;
+* the lifecycle is ``submit()`` → ``run_round()`` (every active task runs
+  its round over the shared store) → ``apply_updates()`` /
+  ``advance_round()`` → repeat, with ``stream_reports()`` draining the
+  report log;
+* every public entry point is serialized on one reentrant lock, so
+  sessions can be submitted/cancelled/run from multiple threads without
+  torn state; within a round, tasks execute deterministically in
+  submission order, which keeps estimates bit-identical to sequential
+  single-estimator runs (see ``tests/test_api_engine.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator, Mapping, Sequence
+
+from ..core.aggregates import AnySpec
+from ..core.estimators.base import RoundReport
+from ..core.estimators.registry import EstimatorFactory, resolve_estimator
+from ..errors import ExperimentError
+from ..hiddendb.database import HiddenDatabase
+from ..hiddendb.interface import TopKInterface
+from ..hiddendb.ranking import RankingPolicy
+from ..hiddendb.schema import Schema
+from ..hiddendb.store import overriding_data_plane
+from .config import EngineConfig
+
+
+
+def _describable(value):
+    """``value`` if JSON can express it, else its repr (description only)."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_describable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _describable(item) for key, item in value.items()}
+    return repr(value)
+
+
+class EstimationTask:
+    """One tenant's estimation assignment.
+
+    Parameters
+    ----------
+    name:
+        Unique handle of the task within its engine.
+    specs:
+        The aggregates this tenant tracks.
+    estimator:
+        Registry name (``"RESTART"`` / ``"REISSUE"`` / ``"RS"`` / anything
+        registered via :func:`~repro.core.estimators.registry
+        .register_estimator`) or a factory callable.
+    budget:
+        Absolute per-round query budget; overrides the engine default.
+    budget_share:
+        Fraction of the engine's ``budget_per_round`` (mutually exclusive
+        with ``budget``).
+    seed:
+        Explicit estimator seed; ``None`` derives one from the engine
+        config's seed policy and the task name.
+    options:
+        Extra keyword arguments for the estimator factory
+        (``parent_check=``, ``push_selection=``, ...).
+    """
+
+    __slots__ = ("name", "specs", "estimator", "budget", "budget_share",
+                 "seed", "options")
+
+    def __init__(
+        self,
+        name: str,
+        specs: Sequence[AnySpec],
+        estimator: str | EstimatorFactory = "RS",
+        budget: int | None = None,
+        budget_share: float | None = None,
+        seed: int | None = None,
+        options: Mapping | None = None,
+    ):
+        if not name:
+            raise ExperimentError("task name must be non-empty")
+        self.specs = list(specs)
+        if not self.specs:
+            raise ExperimentError("at least one aggregate spec is required")
+        if budget is not None and budget_share is not None:
+            raise ExperimentError(
+                "budget and budget_share are mutually exclusive"
+            )
+        if budget is not None and budget < 1:
+            raise ExperimentError("budget must be positive")
+        if budget_share is not None and not 0.0 < budget_share <= 1.0:
+            raise ExperimentError("budget_share must be in (0, 1]")
+        self.name = name
+        self.estimator = estimator
+        self.budget = budget
+        self.budget_share = budget_share
+        self.seed = seed
+        self.options = dict(options) if options else {}
+
+    def budget_for(self, config: EngineConfig) -> int:
+        """The per-round budget this task gets under an engine config."""
+        if self.budget is not None:
+            return self.budget
+        if self.budget_share is not None:
+            return max(1, round(config.budget_per_round * self.budget_share))
+        return config.budget_per_round
+
+    def to_dict(self) -> dict:
+        """A JSON-safe description (estimators/specs appear by name only —
+        rebuilding a task needs the spec objects, not this payload; option
+        values JSON cannot express, e.g. callables, appear as reprs)."""
+        estimator = self.estimator
+        if not isinstance(estimator, str):
+            estimator = getattr(
+                estimator, "name", getattr(estimator, "__name__", repr(estimator))
+            )
+        return {
+            "name": self.name,
+            "estimator": estimator,
+            "specs": [spec.name for spec in self.specs],
+            "budget": self.budget,
+            "budget_share": self.budget_share,
+            "seed": self.seed,
+            "options": {
+                str(key): _describable(value)
+                for key, value in self.options.items()
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"EstimationTask({self.name!r}, estimator={self.estimator!r})"
+
+
+class TaskHandle:
+    """A live task inside an engine: its estimator, budget, and reports."""
+
+    __slots__ = ("name", "estimator", "budget_per_round", "task",
+                 "_reports", "_history_limit", "rounds_run", "queries_total")
+
+    def __init__(self, name, estimator, budget_per_round, task,
+                 history_limit: int | None = None):
+        self.name = name
+        self.estimator = estimator
+        self.budget_per_round = budget_per_round
+        self.task = task
+        #: Retained report history, oldest first; bounded by the engine
+        #: config's ``report_log_limit`` (accounting stays exact in the
+        #: O(1) counters below even when old reports drop).
+        self._reports: list[RoundReport] = []
+        self._history_limit = history_limit
+        self.rounds_run = 0
+        self.queries_total = 0
+
+    @property
+    def reports(self) -> tuple[RoundReport, ...]:
+        """The retained reports, in round order (see ``rounds_run`` for
+        the lifetime count when a history limit is set)."""
+        return tuple(self._reports)
+
+    @property
+    def latest(self) -> RoundReport | None:
+        """The most recent report, if any round ran yet."""
+        return self._reports[-1] if self._reports else None
+
+    @property
+    def interface(self) -> TopKInterface:
+        """This tenant's private connection to the shared database."""
+        return self.estimator.interface
+
+    def _record(self, report: RoundReport) -> None:
+        self._reports.append(report)
+        if (
+            self._history_limit is not None
+            and len(self._reports) > self._history_limit
+        ):
+            del self._reports[: len(self._reports) - self._history_limit]
+        self.rounds_run += 1
+        self.queries_total += report.queries_used
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"TaskHandle({self.name!r}, rounds={self.rounds_run}, "
+            f"queries={self.queries_total})"
+        )
+
+
+class Engine:
+    """A multi-tenant estimation service over one dynamic hidden database.
+
+    Build it around an existing database or let it build one::
+
+        config = EngineConfig(backend="packed", k=100, budget_per_round=300)
+        engine = Engine(config, schema=schema)
+        engine.load(payloads)
+        engine.submit(EstimationTask("count", [count_all()], "RS"))
+        report = engine.run_round()["count"]
+
+    When ``db`` is given, its storage backend stands as built — the
+    config's ``backend`` field only governs databases the engine itself
+    creates.  The config's ``data_plane`` is scoped around every engine
+    operation (submit, load, run_round, apply_updates), so one engine can
+    pin a plane without touching the process default.
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        *,
+        db: HiddenDatabase | None = None,
+        schema: Schema | None = None,
+        ranking: RankingPolicy | None = None,
+    ):
+        self.config = config if config is not None else EngineConfig()
+        if db is None:
+            if schema is None:
+                raise ExperimentError(
+                    "Engine needs either an existing db or a schema to "
+                    "build one"
+                )
+            db = HiddenDatabase(
+                schema,
+                ranking=ranking,
+                block_size=self.config.block_size,
+                backend=self.config.backend,
+            )
+        elif schema is not None:
+            raise ExperimentError("pass either db or schema, not both")
+        elif ranking is not None:
+            raise ExperimentError(
+                "ranking only applies when the engine builds the database; "
+                "an existing db keeps the policy it was built with"
+            )
+        self.db = db
+        self._lock = threading.RLock()
+        self._tasks: dict[str, TaskHandle] = {}
+        #: Execution log: ``(task name, report)`` in the order produced,
+        #: bounded by ``config.report_log_limit`` (oldest entries drop).
+        self._log: list[tuple[str, RoundReport]] = []
+        #: Absolute execution index of ``_log[0]`` (> 0 once entries drop).
+        self._log_start = 0
+
+    def _append_log(self, name: str, report: RoundReport) -> None:
+        self._log.append((name, report))
+        limit = self.config.report_log_limit
+        if limit is not None and len(self._log) > limit:
+            drop = len(self._log) - limit
+            del self._log[:drop]
+            self._log_start += drop
+
+    @contextmanager
+    def _scoped(self):
+        """This engine's lock plus its context-local plane pin.
+
+        A pinned ``data_plane`` is a :class:`~contextvars.ContextVar`
+        override visible only to code this engine runs on the current
+        thread — the process-global switch is never touched, so engines
+        on other threads (pinned to anything or unpinned) proceed fully
+        concurrently and can never observe this engine's plane.
+        """
+        with self._lock, overriding_data_plane(self.config.data_plane):
+            yield
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Storage backend behind the shared database."""
+        return self.db.backend
+
+    @property
+    def current_round(self) -> int:
+        return self.db.current_round
+
+    def tasks(self) -> tuple[str, ...]:
+        """Names of the active tasks, in submission order."""
+        with self._lock:
+            return tuple(self._tasks)
+
+    def __getitem__(self, name: str) -> TaskHandle:
+        with self._lock:
+            try:
+                return self._tasks[name]
+            except KeyError:
+                raise ExperimentError(f"no task named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._tasks
+
+    # ------------------------------------------------------------------
+    # Data loading / churn (simulator side)
+    # ------------------------------------------------------------------
+    def load(self, rows) -> int:
+        """Bulk-load ``(values, measures)`` payloads (or a TupleBatch)."""
+        with self._scoped():
+            return self.db.insert_many(rows)
+
+    def apply_updates(
+        self, mutate: Callable[[HiddenDatabase], None]
+    ) -> None:
+        """Run a mutation function against the shared database, serialized
+        with every estimation session."""
+        with self._scoped():
+            mutate(self.db)
+
+    def advance_round(self) -> int:
+        """Start the next round and return its index."""
+        with self._lock:
+            return self.db.advance_round()
+
+    # ------------------------------------------------------------------
+    # Task lifecycle
+    # ------------------------------------------------------------------
+    def submit(self, task: EstimationTask) -> TaskHandle:
+        """Register a task and build its estimator over the shared store.
+
+        The task gets its own :class:`TopKInterface` (per-tenant budget
+        accounting and query counters) bound to the shared database.
+        """
+        with self._scoped():
+            if task.name in self._tasks:
+                raise ExperimentError(
+                    f"task {task.name!r} already submitted"
+                )
+            factory = resolve_estimator(task.estimator)
+            budget = task.budget_for(self.config)
+            interface = TopKInterface(self.db, self.config.k)
+            estimator = factory(
+                interface,
+                task.specs,
+                budget_per_round=budget,
+                seed=self.config.task_seed(task.name, task.seed),
+                **task.options,
+            )
+            handle = TaskHandle(
+                task.name, estimator, budget, task,
+                history_limit=self.config.report_log_limit,
+            )
+            self._tasks[task.name] = handle
+            return handle
+
+    def cancel(self, name: str) -> TaskHandle:
+        """Remove a task; its handle (with history) is returned."""
+        with self._lock:
+            try:
+                return self._tasks.pop(name)
+            except KeyError:
+                raise ExperimentError(f"no task named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_round(
+        self, tasks: Sequence[str] | None = None
+    ) -> dict[str, RoundReport]:
+        """Run one round for every (or the named) active task.
+
+        Tasks execute deterministically in submission order over the
+        shared, round-static store; each spends only its own budget.
+        Returns ``{task name: report}``.
+        """
+        with self._scoped():
+            if tasks is None:
+                selected = list(self._tasks.values())
+            else:
+                selected = [self[name] for name in tasks]
+            reports: dict[str, RoundReport] = {}
+            for handle in selected:
+                report = handle.estimator.run_round()
+                handle._record(report)
+                self._append_log(handle.name, report)
+                reports[handle.name] = report
+            return reports
+
+    def stream_reports(
+        self, task: str | None = None
+    ) -> Iterator[tuple[str, RoundReport]]:
+        """Yield ``(task name, report)`` in execution order.
+
+        Drains everything still in the (``report_log_limit``-bounded) log
+        — including reports appended by other threads while iterating —
+        then stops.  Safe to call again later; it always starts from the
+        oldest retained entry.
+        """
+        index = 0
+        while True:
+            with self._lock:
+                index = max(index, self._log_start)
+                if index - self._log_start >= len(self._log):
+                    return
+                name, report = self._log[index - self._log_start]
+            index += 1
+            if task is None or task == name:
+                yield name, report
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def budget_ledger(self) -> dict[str, dict[str, int]]:
+        """Per-task budget accounting snapshot."""
+        with self._lock:
+            return {
+                name: {
+                    "budget_per_round": handle.budget_per_round,
+                    "rounds": handle.rounds_run,
+                    "queries_total": handle.queries_total,
+                    "queries_last_round": (
+                        handle.latest.queries_used if handle.latest else 0
+                    ),
+                }
+                for name, handle in self._tasks.items()
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Engine(backend={self.backend!r}, n={len(self.db)}, "
+            f"round={self.current_round}, tasks={list(self._tasks)})"
+        )

@@ -22,6 +22,9 @@ from .estimators import (
     RestartEstimator,
     RoundReport,
     RsEstimator,
+    available_estimators,
+    register_estimator,
+    resolve_estimator,
 )
 from .theory import (
     reissue_beats_restart,
@@ -44,6 +47,7 @@ __all__ = [
     "RsEstimator",
     "RunningAverageSpec",
     "SizeChangeSpec",
+    "available_estimators",
     "avg_measure",
     "combined_variance",
     "count_all",
@@ -51,9 +55,11 @@ __all__ = [
     "drill_from_root",
     "integer_allocation",
     "proportion_where",
+    "register_estimator",
     "reissue_beats_restart",
     "reissue_error_ratio_bound",
     "reissue_update",
+    "resolve_estimator",
     "restart_expected_cost_lower_bound",
     "running_average",
     "size_change",

@@ -1,16 +1,19 @@
 """The three dynamic-aggregate estimators of the paper."""
 
 from .base import DrillDownRecord, EstimatorBase, RoundReport
+from .registry import (
+    ESTIMATOR_CLASSES,
+    available_estimators,
+    register_estimator,
+    resolve_estimator,
+)
 from .reissue import ReissueEstimator
 from .restart import RestartEstimator
 from .rs import RsEstimator
 
-#: Registry used by the experiment harness and CLI.
-ESTIMATOR_CLASSES = {
-    "RESTART": RestartEstimator,
-    "REISSUE": ReissueEstimator,
-    "RS": RsEstimator,
-}
+register_estimator("RESTART", RestartEstimator)
+register_estimator("REISSUE", ReissueEstimator)
+register_estimator("RS", RsEstimator)
 
 __all__ = [
     "DrillDownRecord",
@@ -20,4 +23,7 @@ __all__ = [
     "RestartEstimator",
     "RoundReport",
     "RsEstimator",
+    "available_estimators",
+    "register_estimator",
+    "resolve_estimator",
 ]

@@ -89,6 +89,39 @@ class RoundReport:
             f"updated={self.drilldowns_updated}, new={self.drilldowns_new})"
         )
 
+    def to_dict(self) -> dict:
+        """A strict-JSON-safe payload (``json.dumps(..., allow_nan=False)``
+        works); non-finite estimates/variances are wire-encoded as strings
+        (see :mod:`repro.core.wire`)."""
+        from ..wire import encode_float_map
+
+        return {
+            "round_index": self.round_index,
+            "estimates": encode_float_map(self.estimates),
+            "variances": encode_float_map(self.variances),
+            "queries_used": self.queries_used,
+            "drilldowns_updated": self.drilldowns_updated,
+            "drilldowns_new": self.drilldowns_new,
+            "leaf_overflows": self.leaf_overflows,
+            "active_drilldowns": self.active_drilldowns,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RoundReport":
+        """Rebuild a report from :meth:`to_dict` output (exact round trip)."""
+        from ..wire import decode_float_map
+
+        return cls(
+            round_index=int(payload["round_index"]),
+            estimates=decode_float_map(payload["estimates"]),
+            variances=decode_float_map(payload["variances"]),
+            queries_used=int(payload["queries_used"]),
+            drilldowns_updated=int(payload.get("drilldowns_updated", 0)),
+            drilldowns_new=int(payload.get("drilldowns_new", 0)),
+            leaf_overflows=int(payload.get("leaf_overflows", 0)),
+            active_drilldowns=int(payload.get("active_drilldowns", 0)),
+        )
+
 
 def shared_pushdown(specs: Sequence[AggregateSpec]) -> dict[int, int]:
     """Predicates safe to push into a tree shared by all the given specs.

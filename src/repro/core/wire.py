@@ -1,0 +1,50 @@
+"""Wire encoding helpers for report/result serialization.
+
+Estimates legitimately contain ``nan`` (no completed drill-downs yet) and
+``inf`` (unknown variance).  Strict JSON has neither, so the ``to_dict`` /
+``from_dict`` pairs on :class:`~repro.core.estimators.base.RoundReport`,
+:class:`~repro.api.config.EngineConfig` and
+:class:`~repro.experiments.metrics.ExperimentResult` route every float
+through these helpers: non-finite values become the strings ``"nan"`` /
+``"inf"`` / ``"-inf"`` on the way out and are restored exactly on the way
+in, so ``json.dumps(..., allow_nan=False)`` round-trips losslessly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+#: Wire spellings of the non-finite floats, chosen to be unambiguous when
+#: they appear in a JSON number position.
+_NON_FINITE = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
+
+
+def encode_float(value: float) -> float | str:
+    """A float as a strict-JSON-safe value."""
+    value = float(value)
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def decode_float(value: float | int | str) -> float:
+    """Invert :func:`encode_float`."""
+    if isinstance(value, str):
+        try:
+            return _NON_FINITE[value]
+        except KeyError:
+            raise ValueError(f"not a wire-encoded float: {value!r}") from None
+    return float(value)
+
+
+def encode_float_map(values: Mapping[str, float]) -> dict[str, float | str]:
+    """A ``name -> float`` mapping with non-finite values wire-encoded."""
+    return {name: encode_float(value) for name, value in values.items()}
+
+
+def decode_float_map(values: Mapping[str, float | str]) -> dict[str, float]:
+    """Invert :func:`encode_float_map`."""
+    return {name: decode_float(value) for name, value in values.items()}

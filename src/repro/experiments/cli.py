@@ -4,8 +4,12 @@ Installed as ``repro-experiments``::
 
     repro-experiments list
     repro-experiments run fig02 --scale 0.1 --trials 3
-    repro-experiments run fig12 --backend packed
+    repro-experiments run fig12 --backend packed --data-plane vectorized
     repro-experiments run all --out results.txt
+
+The CLI is a thin client of :mod:`repro.api`: the flags populate one
+:class:`~repro.api.EngineConfig` whose scope every figure driver's engine
+inherits.
 """
 
 from __future__ import annotations
@@ -15,7 +19,8 @@ import inspect
 import sys
 import time
 
-from ..hiddendb.backends import available_backends, using_backend
+from ..api import EngineConfig
+from ..hiddendb.backends import available_backends
 from .figures import FIGURES
 
 
@@ -46,6 +51,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="storage backend for every simulated database "
              "(default: the built-in blocked sorted list)",
+    )
+    run.add_argument(
+        "--data-plane",
+        choices=("vectorized", "scalar"),
+        default=None,
+        help="data plane for bulk loads and query evaluation (default: "
+             "the process default — set_data_plane, then REPRO_DATA_PLANE, "
+             "then 'vectorized')",
     )
     run.add_argument("--out", default=None, help="append output to a file")
     return parser
@@ -90,7 +103,10 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     targets = list(FIGURES) if args.figure == "all" else [args.figure]
     chunks = []
-    with using_backend(args.backend):
+    # One config object carries every knob; applying it scopes the process
+    # defaults that the figure drivers' engines then inherit.
+    config = EngineConfig(backend=args.backend, data_plane=args.data_plane)
+    with config.apply():
         for figure_id in targets:
             text = _run_one(figure_id, args)
             print(text)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Mapping, Sequence
 
+from ...api.config import EngineConfig
 from ...core.aggregates import AnySpec
 from ...data.autos import AUTOS_DEFAULT_INITIAL, AUTOS_TOTAL_TUPLES, autos_snapshot
 from ...data.schedules import SnapshotPoolSchedule, UpdateSchedule
@@ -173,8 +174,14 @@ def run_three_way(
     seed: int = 0,
     intra_round: bool = False,
     backend: str | None = None,
+    config: EngineConfig | None = None,
 ) -> ExperimentResult:
-    """Run one experiment comparing estimators (default: all three)."""
+    """Run one experiment comparing estimators (default: all three).
+
+    ``config`` routes every engine knob at once (and wins over ``k`` /
+    ``budget`` / ``backend`` when given); execution goes through the
+    :class:`repro.api.Engine` facade either way.
+    """
     experiment = Experiment(
         name,
         env_factory,
@@ -187,6 +194,7 @@ def run_three_way(
         base_seed=seed,
         intra_round=intra_round,
         backend=backend,
+        config=config,
     )
     return experiment.run()
 

@@ -81,6 +81,76 @@ class ExperimentResult:
         self.drilldowns[estimator][-1].append(drilldowns)
 
     # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A strict-JSON-safe payload of everything recorded so far.
+
+        Non-finite floats are wire-encoded (see :mod:`repro.core.wire`)
+        so ``json.dumps(result.to_dict(), allow_nan=False)`` works and
+        :meth:`from_dict` restores the result exactly.
+        """
+        from ..core.wire import encode_float_map
+
+        return {
+            "name": self.name,
+            "estimator_names": list(self.estimator_names),
+            "spec_names": list(self.spec_names),
+            "rounds": list(self.rounds),
+            "truths": [
+                [encode_float_map(snapshot) for snapshot in trial]
+                for trial in self.truths
+            ],
+            "estimates": {
+                estimator: [
+                    [encode_float_map(snapshot) for snapshot in trial]
+                    for trial in trials
+                ]
+                for estimator, trials in self.estimates.items()
+            },
+            "queries": {
+                estimator: [list(trial) for trial in trials]
+                for estimator, trials in self.queries.items()
+            },
+            "drilldowns": {
+                estimator: [list(trial) for trial in trials]
+                for estimator, trials in self.drilldowns.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (exact round trip)."""
+        from ..core.wire import decode_float_map
+
+        result = cls(
+            payload["name"],
+            payload["estimator_names"],
+            payload["spec_names"],
+        )
+        result.rounds = [int(r) for r in payload["rounds"]]
+        result.truths = [
+            [decode_float_map(snapshot) for snapshot in trial]
+            for trial in payload["truths"]
+        ]
+        result.estimates = {
+            estimator: [
+                [decode_float_map(snapshot) for snapshot in trial]
+                for trial in trials
+            ]
+            for estimator, trials in payload["estimates"].items()
+        }
+        result.queries = {
+            estimator: [[int(q) for q in trial] for trial in trials]
+            for estimator, trials in payload["queries"].items()
+        }
+        result.drilldowns = {
+            estimator: [[int(d) for d in trial] for trial in trials]
+            for estimator, trials in payload["drilldowns"].items()
+        }
+        return result
+
+    # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
     @property

@@ -1,9 +1,12 @@
 """The experiment runner: trials, rounds, estimators, ground truth.
 
 An :class:`Experiment` wires together an environment factory (database +
-update schedule, built fresh per trial), an interface configuration (k),
-a set of estimator factories, the tracked aggregates, and the round/trial
-counts.  Two update models are supported:
+update schedule, built fresh per trial), an engine configuration, a set of
+estimator factories, the tracked aggregates, and the round/trial counts.
+Execution routes through the :class:`repro.api.Engine` facade — one engine
+per trial environment, one :class:`~repro.api.engine.EstimationTask` per
+estimator — and is bit-identical to the pre-facade runner (see
+``tests/test_api_parity.py``).  Two update models are supported:
 
 * round mode (default): all of a round's mutations apply at the boundary;
 * intra-round mode (§5.2 / Figure 4): each estimator gets its *own* copy of
@@ -16,13 +19,14 @@ from __future__ import annotations
 import random
 from typing import Callable, Sequence
 
+from ..api.config import EngineConfig
+from ..api.engine import Engine, EstimationTask
 from ..core.aggregates import AnySpec, base_specs_of
-from ..core.estimators import ESTIMATOR_CLASSES, EstimatorBase
+from ..core.estimators.registry import EstimatorFactory as RegistryFactory
+from ..core.estimators.registry import resolve_estimator
 from ..data.schedules import IntraRoundDriver, UpdateSchedule, apply_round
-from ..errors import ExperimentError
-from ..hiddendb.backends import using_backend
+from ..errors import EstimationError, ExperimentError
 from ..hiddendb.database import HiddenDatabase
-from ..hiddendb.interface import TopKInterface
 from ..hiddendb.schema import Schema
 from .ground_truth import GroundTruthTracker
 from .metrics import ExperimentResult
@@ -38,25 +42,39 @@ SpecsFactory = Callable[[Schema], Sequence[AnySpec]]
 
 
 class EstimatorFactory:
-    """Named constructor for one estimator configuration."""
+    """Named constructor for one estimator configuration.
 
-    def __init__(self, name: str, cls: type[EstimatorBase] | str, **kwargs):
+    ``cls`` is a registry name (``"RESTART"`` / ``"REISSUE"`` / ``"RS"`` /
+    anything registered via :func:`repro.api.register_estimator`) or a
+    factory callable; extra kwargs are forwarded to it.
+    """
+
+    def __init__(self, name: str, cls: type | RegistryFactory | str, **kwargs):
         self.name = name
         if isinstance(cls, str):
             try:
-                cls = ESTIMATOR_CLASSES[cls]
-            except KeyError:
+                cls = resolve_estimator(cls)
+            except EstimationError:
                 raise ExperimentError(f"unknown estimator {cls!r}") from None
         self.cls = cls
         self.kwargs = dict(kwargs)
 
-    def build(
-        self,
-        interface: TopKInterface,
-        specs: Sequence[AnySpec],
-        budget: int,
-        seed: int,
-    ) -> EstimatorBase:
+    def task(
+        self, specs: Sequence[AnySpec], seed: int, budget: int | None = None
+    ) -> EstimationTask:
+        """The engine task this factory describes."""
+        return EstimationTask(
+            self.name,
+            specs,
+            estimator=self.cls,
+            seed=seed,
+            budget=budget,
+            options=self.kwargs,
+        )
+
+    def build(self, interface, specs: Sequence[AnySpec], budget: int,
+              seed: int):
+        """Construct the estimator directly (pre-facade entry point)."""
         return self.cls(
             interface, specs, budget_per_round=budget, seed=seed, **self.kwargs
         )
@@ -72,43 +90,73 @@ def default_estimators() -> list[EstimatorFactory]:
 
 
 class Experiment:
-    """A repeatable multi-round, multi-trial estimator comparison."""
+    """A repeatable multi-round, multi-trial estimator comparison.
+
+    Either pass the legacy knobs (``k``, ``budget_per_round``,
+    ``backend``, ``base_seed``) or hand in an
+    :class:`~repro.api.EngineConfig` via ``config`` — the config wins
+    when both are given, except that an explicitly passed ``base_seed``
+    takes precedence over ``config.seed`` for trial seeding.  Estimates
+    are bit-identical through either spelling.
+    """
 
     def __init__(
         self,
         name: str,
         env_factory: EnvFactory,
         specs_factory: SpecsFactory,
-        k: int,
-        budget_per_round: int,
-        rounds: int,
+        k: int = 100,
+        budget_per_round: int = 300,
+        rounds: int = 1,
         trials: int = 1,
         estimators: Sequence[EstimatorFactory] | None = None,
-        base_seed: int = 0,
+        base_seed: int | None = None,
         intra_round: bool = False,
         backend: str | None = None,
+        config: EngineConfig | None = None,
     ):
         if rounds < 1 or trials < 1:
             raise ExperimentError("rounds and trials must be positive")
         self.name = name
         self.env_factory = env_factory
         self.specs_factory = specs_factory
-        self.k = k
-        self.budget_per_round = budget_per_round
+        if config is None:
+            config = EngineConfig(
+                backend=backend,
+                k=k,
+                budget_per_round=budget_per_round,
+                seed=base_seed if base_seed is not None else 0,
+            )
+        self.config = config
         self.rounds = rounds
         self.trials = trials
         self.estimators = (
             list(estimators) if estimators is not None else default_estimators()
         )
-        self.base_seed = base_seed
+        # Trial seeding: an explicit base_seed wins; otherwise the config's
+        # seed governs (so `config=EngineConfig(seed=...)` is honoured).
+        self.base_seed = base_seed if base_seed is not None else config.seed
         self.intra_round = intra_round
-        # Storage backend every trial's database is built with (None keeps
-        # whatever default is active when the environment factory runs).
-        self.backend = backend
+
+    # Legacy attribute views (pre-config call sites read these).
+    @property
+    def k(self) -> int:
+        return self.config.k
+
+    @property
+    def budget_per_round(self) -> int:
+        return self.config.budget_per_round
+
+    @property
+    def backend(self) -> str | None:
+        return self.config.backend
 
     def _build_env(self, seed: int) -> Env:
-        with using_backend(self.backend):
+        with self.config.apply():
             return self.env_factory(seed)
+
+    def _engine(self, db: HiddenDatabase) -> Engine:
+        return Engine(self.config, db=db)
 
     # ------------------------------------------------------------------
     def run(self) -> ExperimentResult:
@@ -136,6 +184,13 @@ class Experiment:
             self.name, [factory.name for factory in self.estimators], spec_names
         )
 
+    def _submit_all(
+        self, engine: Engine, specs: Sequence[AnySpec], seed: int
+    ) -> None:
+        """One engine task per estimator factory, legacy seed schedule."""
+        for index, factory in enumerate(self.estimators):
+            engine.submit(factory.task(specs, seed + 17 + index))
+
     def _run_trial_round(
         self, seed: int, trial: int, result: ExperimentResult | None
     ) -> ExperimentResult:
@@ -143,24 +198,20 @@ class Experiment:
         specs = list(self.specs_factory(db.schema))
         if result is None:
             result = self._make_result(specs)
-        interface = TopKInterface(db, self.k)
+        engine = self._engine(db)
         tracker = GroundTruthTracker(db, specs)
-        estimators = {
-            factory.name: factory.build(
-                interface, specs, self.budget_per_round, seed + 17 + index
-            )
-            for index, factory in enumerate(self.estimators)
-        }
+        self._submit_all(engine, specs, seed)
         schedule_rng = random.Random(seed + 5)
         result.start_trial()
         for position in range(self.rounds):
             if position > 0:
-                apply_round(db, schedule, schedule_rng)
-                db.advance_round()
-            round_index = db.current_round
+                engine.apply_updates(
+                    lambda db: apply_round(db, schedule, schedule_rng)
+                )
+                engine.advance_round()
+            round_index = engine.current_round
             result.record_truth(round_index, tracker.record_round(round_index))
-            for name, estimator in estimators.items():
-                report = estimator.run_round()
+            for name, report in engine.run_round().items():
                 result.record_report(
                     name,
                     report.estimates,
@@ -181,26 +232,24 @@ class Experiment:
             db, schedule = self._build_env(seed)
             specs = list(self.specs_factory(db.schema))
             specs_for_result = specs
-            interface = TopKInterface(db, self.k)
+            engine = self._engine(db)
             tracker = GroundTruthTracker(db, specs)
-            estimator = factory.build(
-                interface, specs, self.budget_per_round, seed + 17 + index
-            )
+            handle = engine.submit(factory.task(specs, seed + 17 + index))
             driver = IntraRoundDriver(
                 db, schedule, self.budget_per_round, random.Random(seed + 5)
             )
-            estimator.on_query = driver.on_query
+            handle.estimator.on_query = driver.on_query
             snapshots[factory.name] = {}
             reports[factory.name] = []
             round_ids = []
             for position in range(self.rounds):
                 if position > 0:
-                    db.advance_round()
+                    engine.advance_round()
                     driver.start_round()
-                report = estimator.run_round()
+                report = engine.run_round()[factory.name]
                 if position > 0:
                     driver.finish_round()
-                round_index = db.current_round
+                round_index = engine.current_round
                 round_ids.append(round_index)
                 snapshots[factory.name][round_index] = tracker.record_round(
                     round_index

@@ -1,5 +1,13 @@
 """Extensions beyond the paper's core: its §8 future-work directions."""
 
-from .counts import CountAssistedEstimator, CountRevealingInterface
+from .counts import (
+    CountAssistedEstimator,
+    CountRevealingInterface,
+    count_assisted_factory,
+)
 
-__all__ = ["CountAssistedEstimator", "CountRevealingInterface"]
+__all__ = [
+    "CountAssistedEstimator",
+    "CountRevealingInterface",
+    "count_assisted_factory",
+]

@@ -38,6 +38,7 @@ from typing import Sequence
 
 from ..core.aggregates import AggregateSpec, AnySpec, RatioSpec, base_specs_of
 from ..core.estimators.base import RoundReport, shared_pushdown
+from ..core.estimators.registry import register_estimator
 from ..core.tree import QueryTree
 from ..core.variance import mean, ratio_variance, variance_of_mean
 from ..errors import EstimationError, QueryBudgetExhausted
@@ -307,3 +308,29 @@ class CountAssistedEstimator:
 
 #: Probe tuple used to detect f(t) == 1 (plain COUNT) specs.
 _COUNT_PROBE = HiddenTuple(0, b"", (), 0.0)
+
+
+def count_assisted_factory(
+    interface,
+    specs: Sequence[AnySpec],
+    budget_per_round: int,
+    seed: int = 0,
+    **options,
+) -> CountAssistedEstimator:
+    """Estimator-registry adapter: wrap a plain interface automatically.
+
+    Registered as ``"COUNT-ASSISTED"`` so engine facades and experiment
+    harnesses can name this estimator like the core three; a plain
+    :class:`~repro.hiddendb.interface.TopKInterface` is wrapped in a
+    :class:`CountRevealingInterface` on the way in (the simulated site is
+    then assumed to display result totals).
+    """
+    if not isinstance(interface, CountRevealingInterface):
+        interface = CountRevealingInterface(interface)
+    return CountAssistedEstimator(
+        interface, specs, budget_per_round=budget_per_round, seed=seed,
+        **options,
+    )
+
+
+register_estimator("COUNT-ASSISTED", count_assisted_factory)

@@ -27,6 +27,7 @@ from .store import (
     SortedKeyList,
     TupleStore,
     get_data_plane,
+    overriding_data_plane,
     set_data_plane,
     using_data_plane,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "get_default_backend",
     "make_backend",
     "make_tuple",
+    "overriding_data_plane",
     "register_backend",
     "set_data_plane",
     "set_default_backend",

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import os
 from bisect import bisect_left, bisect_right, insort
+from contextvars import ContextVar
 from contextlib import contextmanager
 from typing import Callable, Iterable, Iterator, Sequence
 
@@ -57,6 +58,7 @@ from .schema import Schema
 from .tuples import HiddenTuple, TupleBatch
 
 __all__ = [
+    "DATA_PLANES",
     "DEFAULT_BLOCK_SIZE",
     "GatheredRows",
     "KeyCodec",
@@ -64,6 +66,7 @@ __all__ = [
     "SortedKeyList",
     "TupleStore",
     "get_data_plane",
+    "overriding_data_plane",
     "set_data_plane",
     "using_data_plane",
 ]
@@ -73,30 +76,78 @@ __all__ = [
 # Data-plane selection
 # ----------------------------------------------------------------------
 
-_DATA_PLANES = ("vectorized", "scalar")
+#: The valid data planes (shared by every layer that validates a name).
+DATA_PLANES = ("vectorized", "scalar")
 
-_data_plane = os.environ.get("REPRO_DATA_PLANE", "vectorized")
-if _data_plane not in _DATA_PLANES:  # pragma: no cover - env misuse
-    raise SchemaError(
-        f"REPRO_DATA_PLANE must be one of {_DATA_PLANES}, got {_data_plane!r}"
-    )
+_DATA_PLANES = DATA_PLANES
+
+#: The explicit programmatic selection.  ``None`` means "never set", in
+#: which case the ``REPRO_DATA_PLANE`` environment variable (read lazily,
+#: so it is only a *default*) governs.  Precedence, highest first:
+#: context-local override (:func:`overriding_data_plane` — the engine
+#: facade's pinning primitive) > process-wide programmatic setting
+#: (:func:`set_data_plane` / :func:`using_data_plane`) >
+#: ``REPRO_DATA_PLANE`` > the built-in ``"vectorized"`` default.
+_data_plane: str | None = None
+
+#: Context-local (thread/task-scoped) override.  Pinned scopes set it so
+#: their plane choice is invisible to concurrent threads — no global
+#: state is touched and no cross-scope locking is needed.
+_plane_override: ContextVar[str | None] = ContextVar(
+    "repro-data-plane-override", default=None
+)
+
+
+def _env_default() -> str:
+    """The plane named by ``REPRO_DATA_PLANE``, or the built-in default."""
+    from_env = os.environ.get("REPRO_DATA_PLANE")
+    if from_env is None:
+        return "vectorized"
+    if from_env not in _DATA_PLANES:
+        raise SchemaError(
+            f"REPRO_DATA_PLANE must be one of {_DATA_PLANES}, got "
+            f"{from_env!r}"
+        )
+    return from_env
 
 
 def get_data_plane() -> str:
-    """The active data plane: ``"vectorized"`` (default) or ``"scalar"``."""
-    return _data_plane
+    """The active data plane: ``"vectorized"`` (default) or ``"scalar"``.
+
+    A context-local :func:`overriding_data_plane` scope wins first; then
+    an explicit :func:`set_data_plane`; absent both, the
+    ``REPRO_DATA_PLANE`` environment variable is consulted on every call
+    (so it stays a pure default and never overrides program decisions).
+    """
+    override = _plane_override.get()
+    if override is not None:
+        return override
+    if _data_plane is not None:
+        return _data_plane
+    return _env_default()
 
 
-def set_data_plane(name: str) -> str:
-    """Select the data plane process-wide; returns the previous one.
+def set_data_plane(name: str | None) -> str | None:
+    """Select the data plane process-wide; returns the previous *explicit*
+    setting (``None`` when none was made), so the save/restore idiom
+    round-trips exactly::
+
+        previous = set_data_plane("scalar")
+        ...
+        set_data_plane(previous)   # restores even a never-set state
 
     ``"scalar"`` makes :meth:`TupleStore.insert_batch` (and everything
     built on it) degrade to the per-tuple insert path — byte-identical
     results, per-tuple cost.  Used by the parity tests and the
     ``REPRO_DATA_PLANE`` benchmark knob.
+
+    An explicit setting takes precedence over the ``REPRO_DATA_PLANE``
+    environment variable; pass ``None`` to drop the explicit setting and
+    fall back to the environment default.  (The *effective* plane before
+    the call is ``get_data_plane()``.)
     """
     global _data_plane
-    if name not in _DATA_PLANES:
+    if name is not None and name not in _DATA_PLANES:
         raise SchemaError(
             f"unknown data plane {name!r}; available: {', '.join(_DATA_PLANES)}"
         )
@@ -106,8 +157,39 @@ def set_data_plane(name: str) -> str:
 
 
 @contextmanager
+def overriding_data_plane(name: str | None):
+    """Context-local plane override (``None`` leaves everything untouched).
+
+    The engine facade's pinning primitive: unlike :func:`using_data_plane`
+    it never mutates process-global state — the override lives in a
+    :class:`~contextvars.ContextVar`, so it is visible only to code
+    running in the current thread/task (and beats both
+    :func:`set_data_plane` and the environment there), while concurrent
+    threads keep seeing the ambient plane.  Nests freely; exiting restores
+    the outer override exactly.
+    """
+    if name is None:
+        yield get_data_plane()
+        return
+    if name not in _DATA_PLANES:
+        raise SchemaError(
+            f"unknown data plane {name!r}; available: {', '.join(_DATA_PLANES)}"
+        )
+    token = _plane_override.set(name)
+    try:
+        yield name
+    finally:
+        _plane_override.reset(token)
+
+
+@contextmanager
 def using_data_plane(name: str | None):
-    """Scope the data plane (``None`` leaves it untouched)."""
+    """Scope the data plane (``None`` leaves it untouched).
+
+    On exit the previous state is restored exactly — including "never
+    explicitly set", so a scope used before any :func:`set_data_plane`
+    call leaves the environment-variable default in charge afterwards.
+    """
     if name is None:
         yield get_data_plane()
         return

@@ -1,0 +1,136 @@
+"""Regression tests for the data-plane selection precedence.
+
+The contract (see :mod:`repro.hiddendb.store`): an explicit programmatic
+setting — :func:`set_data_plane` or a :func:`using_data_plane` scope —
+always wins over the ``REPRO_DATA_PLANE`` environment variable, which is
+only a *default* consulted when nothing was set explicitly.
+"""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.hiddendb import store
+from repro.hiddendb.store import (
+    get_data_plane,
+    overriding_data_plane,
+    set_data_plane,
+    using_data_plane,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_plane_state():
+    """Leave the module-level selection exactly as we found it."""
+    previous_explicit = store._data_plane
+    yield
+    store._data_plane = previous_explicit
+
+
+def test_explicit_setting_beats_env_var(monkeypatch):
+    monkeypatch.setenv("REPRO_DATA_PLANE", "scalar")
+    set_data_plane("vectorized")
+    assert get_data_plane() == "vectorized"
+    # ... and the other way around.
+    monkeypatch.setenv("REPRO_DATA_PLANE", "vectorized")
+    set_data_plane("scalar")
+    assert get_data_plane() == "scalar"
+
+
+def test_env_var_governs_when_nothing_set_explicitly(monkeypatch):
+    store._data_plane = None
+    monkeypatch.setenv("REPRO_DATA_PLANE", "scalar")
+    assert get_data_plane() == "scalar"
+    monkeypatch.delenv("REPRO_DATA_PLANE")
+    assert get_data_plane() == "vectorized"
+
+
+def test_env_var_is_read_lazily_not_frozen_at_import(monkeypatch):
+    """Mutating the environment after import still changes the default."""
+    store._data_plane = None
+    monkeypatch.setenv("REPRO_DATA_PLANE", "vectorized")
+    assert get_data_plane() == "vectorized"
+    monkeypatch.setenv("REPRO_DATA_PLANE", "scalar")
+    assert get_data_plane() == "scalar"
+
+
+def test_invalid_env_var_only_raises_when_consulted(monkeypatch):
+    monkeypatch.setenv("REPRO_DATA_PLANE", "quantum")
+    set_data_plane("scalar")  # explicit setting shields the bad env value
+    assert get_data_plane() == "scalar"
+    store._data_plane = None  # nothing explicit -> the env value is read
+    with pytest.raises(SchemaError):
+        get_data_plane()
+
+
+def test_set_data_plane_none_restores_env_default(monkeypatch):
+    monkeypatch.setenv("REPRO_DATA_PLANE", "scalar")
+    set_data_plane("vectorized")
+    assert get_data_plane() == "vectorized"
+    set_data_plane(None)
+    assert get_data_plane() == "scalar"
+
+
+def test_set_data_plane_rejects_unknown_name():
+    with pytest.raises(SchemaError):
+        set_data_plane("quantum")
+
+
+def test_set_data_plane_save_restore_round_trips(monkeypatch):
+    """`prev = set_data_plane(x); set_data_plane(prev)` must restore even
+    a never-explicitly-set state (not pin the effective default)."""
+    store._data_plane = None
+    monkeypatch.setenv("REPRO_DATA_PLANE", "vectorized")
+    previous = set_data_plane("scalar")
+    assert previous is None
+    set_data_plane(previous)
+    assert store._data_plane is None
+    # ... so a later env change is still honoured.
+    monkeypatch.setenv("REPRO_DATA_PLANE", "scalar")
+    assert get_data_plane() == "scalar"
+    # And an explicit prior setting round-trips as itself.
+    set_data_plane("vectorized")
+    assert set_data_plane("scalar") == "vectorized"
+    assert set_data_plane(None) == "scalar"
+
+
+def test_using_data_plane_scope_restores_unset_state(monkeypatch):
+    store._data_plane = None
+    monkeypatch.setenv("REPRO_DATA_PLANE", "scalar")
+    with using_data_plane("vectorized"):
+        assert get_data_plane() == "vectorized"
+    # The scope must not pin an explicit setting on exit: the env default
+    # stays in charge afterwards.
+    assert store._data_plane is None
+    assert get_data_plane() == "scalar"
+    monkeypatch.setenv("REPRO_DATA_PLANE", "vectorized")
+    assert get_data_plane() == "vectorized"
+
+
+def test_context_local_override_beats_everything(monkeypatch):
+    """overriding_data_plane (the engine facade's pin) outranks both the
+    explicit process-wide setting and the environment variable."""
+    monkeypatch.setenv("REPRO_DATA_PLANE", "vectorized")
+    set_data_plane("vectorized")
+    with overriding_data_plane("scalar"):
+        assert get_data_plane() == "scalar"
+        with overriding_data_plane("vectorized"):  # nests and restores
+            assert get_data_plane() == "vectorized"
+        assert get_data_plane() == "scalar"
+        # A process-wide set inside the scope is shadowed there...
+        set_data_plane("vectorized")
+        assert get_data_plane() == "scalar"
+    # ... but is in force once the scope exits.
+    assert get_data_plane() == "vectorized"
+    with pytest.raises(SchemaError):
+        with overriding_data_plane("quantum"):
+            pass
+    with overriding_data_plane(None) as active:  # None = no-op
+        assert active == get_data_plane()
+
+
+def test_using_data_plane_none_is_a_no_op(monkeypatch):
+    monkeypatch.delenv("REPRO_DATA_PLANE", raising=False)
+    set_data_plane("scalar")
+    with using_data_plane(None) as active:
+        assert active == "scalar"
+    assert get_data_plane() == "scalar"
