@@ -1,0 +1,169 @@
+"""Sharded-store scale benchmark: fig12-shaped workload at n >= 1M.
+
+Runs the same seeded multi-tenant estimation workload (bulk load, heavy
+round churn, three estimator tenants — the fig12 shape, scaled up) twice
+through the :class:`repro.api.Engine` facade:
+
+* **single_shard** — ``backend="sharded"`` with one shard, sequential
+  rounds: the degenerate configuration whose costs equal a monolithic
+  store plus dispatch overhead.
+* **sharded_parallel** — 8 shards with parallel per-shard bulk dispatch
+  and ``run_round(parallel=4)``.
+
+Estimates must be *bit-identical* between the two configurations (shard
+count and worker count are operational knobs, never statistical ones);
+the figure reports per-phase wall times and the end-to-end speedup.  The
+schema is narrow enough (m=12) that keys pack into int64 runs — the
+configuration where per-shard numpy sorts release the GIL and actually
+overlap.  Wide-key sharding is exercised by the test suite instead
+(``tests/test_backends.py``).
+
+Environment knobs::
+
+    REPRO_BENCH_SHARDED_N            tuples to load (default 1_000_000)
+    REPRO_BENCH_SHARDED_ROUNDS       churn/estimation rounds (default 5)
+    REPRO_BENCH_SHARDED_MIN_SPEEDUP  speedup floor the test asserts
+                                     (default 0.9 — shared CI runners and
+                                     single-core hosts cannot promise the
+                                     multi-core target; on a dedicated
+                                     >=4-core box set it to 1.5)
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.api import Engine, EngineConfig, EstimationTask
+from repro.core.aggregates import count_all
+from repro.data.schedules import FreshTupleSchedule, apply_round
+from repro.data.synthetic import skewed_source
+from repro.experiments.figures.common import FigureResult
+
+ALGORITHMS = ("RESTART", "REISSUE", "RS")
+
+SHARDED_N = int(os.environ.get("REPRO_BENCH_SHARDED_N", "1000000"))
+SHARDED_ROUNDS = int(os.environ.get("REPRO_BENCH_SHARDED_ROUNDS", "5"))
+MIN_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_SHARDED_MIN_SPEEDUP", "0.9")
+)
+
+
+def _run_config(
+    label: str,
+    n: int,
+    rounds: int,
+    budget: int,
+    seed: int,
+    shards: int,
+    parallelism: int,
+):
+    """One full workload pass; returns (per-round walls, load wall,
+    estimate trace) for the given sharding configuration."""
+    domain_sizes = [2 + (i % 5) for i in range(12)]
+    source = skewed_source(domain_sizes, exponent=0.4, seed=seed)
+    engine = Engine(
+        EngineConfig(
+            backend="sharded",
+            shards=shards,
+            parallelism=parallelism,
+            k=100,
+            budget_per_round=budget,
+            seed=seed,
+        ),
+        schema=source.schema,
+    )
+    load_started = time.perf_counter()
+    engine.load(source.batch_columns(n))
+    load_seconds = time.perf_counter() - load_started
+    schedule = FreshTupleSchedule(
+        source,
+        inserts_per_round=max(1, n // 50),
+        delete_fraction=0.01,
+    )
+    specs = [count_all()]
+    for index, algorithm in enumerate(ALGORITHMS):
+        engine.submit(EstimationTask(
+            algorithm, specs, algorithm, seed=seed + 17 + index,
+        ))
+    rng = random.Random(seed + 5)
+    round_walls: list[float] = []
+    trace: list[dict] = []
+    for position in range(rounds):
+        round_started = time.perf_counter()
+        if position:
+            engine.apply_updates(lambda db: apply_round(db, schedule, rng))
+            engine.advance_round()
+        reports = engine.run_round()
+        round_walls.append(time.perf_counter() - round_started)
+        trace.append({
+            name: (report.estimates, report.queries_used)
+            for name, report in sorted(reports.items())
+        })
+    return round_walls, load_seconds, trace
+
+
+def run_sharded_scale(
+    n: int = SHARDED_N,
+    rounds: int = SHARDED_ROUNDS,
+    budget: int = 300,
+    seed: int = 0,
+) -> FigureResult:
+    configs = {
+        "single_shard": dict(shards=1, parallelism=1),
+        "sharded_parallel": dict(shards=8, parallelism=4),
+    }
+    walls: dict[str, list[float]] = {}
+    loads: dict[str, float] = {}
+    traces: dict[str, list] = {}
+    for label, knobs in configs.items():
+        walls[label], loads[label], traces[label] = _run_config(
+            label, n, rounds, budget, seed, **knobs
+        )
+    assert traces["single_shard"] == traces["sharded_parallel"], (
+        "sharding/parallelism changed the estimates — they are operational "
+        "knobs and must be bit-identical"
+    )
+    totals = {
+        label: loads[label] + sum(walls[label]) for label in configs
+    }
+    speedup = (
+        totals["single_shard"] / totals["sharded_parallel"]
+        if totals["sharded_parallel"] > 0
+        else float("inf")
+    )
+    return FigureResult(
+        "sharded_scale",
+        f"fig12-shaped workload, n={n}, sharded scale-up",
+        x_label="round",
+        y_label="wall seconds",
+        xs=list(range(1, rounds + 1)),
+        series={label: walls[label] for label in configs},
+        notes=(
+            f"load: single={loads['single_shard']:.2f}s "
+            f"sharded={loads['sharded_parallel']:.2f}s; "
+            f"end-to-end speedup x{speedup:.2f}"
+        ),
+        meta={
+            "n": n,
+            "backend": "sharded",  # pinned via EngineConfig, whatever the
+                                   # process default says
+            "configs": configs,
+            "load_seconds": loads,
+            "total_seconds": totals,
+            "speedup": speedup,
+            "estimates_identical": True,
+        },
+    )
+
+
+def test_sharded_scale(figure_bench):
+    figure = figure_bench(run_sharded_scale)
+    # Estimates already proven identical inside the builder; here gate on
+    # the speedup floor.  The default floor only rejects net slowdowns —
+    # shared CI runners and single-core hosts cannot promise the
+    # multi-core target; raise REPRO_BENCH_SHARDED_MIN_SPEEDUP to 1.5 on
+    # a dedicated >=4-core machine to enforce the scaling goal itself.
+    assert figure.meta["estimates_identical"]
+    assert figure.meta["speedup"] > MIN_SPEEDUP, figure.meta

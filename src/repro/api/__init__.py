@@ -25,9 +25,12 @@ from ..core.estimators.registry import (
 from ..hiddendb.backends import (
     available_backends,
     get_default_backend,
+    get_default_backend_options,
     register_backend,
     set_default_backend,
+    set_default_backend_options,
     using_backend,
+    using_backend_options,
 )
 from ..hiddendb.store import (
     get_data_plane,
@@ -35,7 +38,13 @@ from ..hiddendb.store import (
     set_data_plane,
     using_data_plane,
 )
-from .config import SEED_POLICIES, EngineConfig
+from .config import (
+    SEED_POLICIES,
+    EngineConfig,
+    get_default_parallelism,
+    set_default_parallelism,
+    using_parallelism,
+)
 from .engine import Engine, EstimationTask, TaskHandle
 
 __all__ = [
@@ -49,12 +58,18 @@ __all__ = [
     "available_estimators",
     "get_data_plane",
     "get_default_backend",
+    "get_default_backend_options",
+    "get_default_parallelism",
     "overriding_data_plane",
     "register_backend",
     "register_estimator",
     "resolve_estimator",
     "set_data_plane",
     "set_default_backend",
+    "set_default_backend_options",
+    "set_default_parallelism",
     "using_backend",
+    "using_backend_options",
     "using_data_plane",
+    "using_parallelism",
 ]

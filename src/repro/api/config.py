@@ -35,6 +35,7 @@ from ..hiddendb.backends import (
     get_default_backend,
     resolve_backend,
     using_backend,
+    using_backend_options,
 )
 from ..hiddendb.store import (
     DATA_PLANES,
@@ -45,6 +46,38 @@ from ..hiddendb.store import (
 #: How per-task estimator seeds derive from :attr:`EngineConfig.seed` when
 #: a task does not pin one explicitly.
 SEED_POLICIES = ("per-task", "shared")
+
+#: Process-wide default round parallelism (level 2 of the precedence
+#: order); configs with ``parallelism=None`` resolve against it.
+_default_parallelism = 1
+
+
+def get_default_parallelism() -> int:
+    """The worker count engines use when their config does not pin one."""
+    return _default_parallelism
+
+
+def set_default_parallelism(workers: int) -> int:
+    """Set the process-wide default parallelism; returns the previous."""
+    global _default_parallelism
+    if workers < 1:
+        raise ExperimentError("parallelism must be at least 1")
+    previous = _default_parallelism
+    _default_parallelism = workers
+    return previous
+
+
+@contextmanager
+def using_parallelism(workers: int | None) -> Iterator[int]:
+    """Scope the default parallelism (``None`` leaves it untouched)."""
+    if workers is None:
+        yield get_default_parallelism()
+        return
+    previous = set_default_parallelism(workers)
+    try:
+        yield workers
+    finally:
+        set_default_parallelism(previous)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -75,6 +108,17 @@ class EngineConfig:
         verbatim.  A task's explicit ``seed`` always wins.
     block_size:
         Storage-engine block/buffer tuning knob, threaded to the backend.
+    shards:
+        Shard count of the ``sharded`` storage backend (``None`` = the
+        backend's default).  Only meaningful when the engine's database
+        resolves to the sharded engine; setting it alongside an explicit
+        non-sharded ``backend`` raises.
+    parallelism:
+        Worker threads :meth:`~repro.api.Engine.run_round` fans active
+        tasks out to (and, on a sharded database, the per-shard bulk
+        dispatch width).  ``1`` = sequential; results are bit-identical
+        either way.  ``None`` defers to the process default
+        (:func:`set_default_parallelism`, built-in ``1``).
     report_log_limit:
         Upper bound on retained reports: both the engine's execution-order
         log (drained by ``stream_reports()``) and each task's history on
@@ -91,6 +135,8 @@ class EngineConfig:
     seed: int = 0
     seed_policy: str = "per-task"
     block_size: int = DEFAULT_BLOCK_SIZE
+    shards: int | None = None
+    parallelism: int | None = None
     report_log_limit: int | None = None
 
     def __post_init__(self) -> None:
@@ -100,6 +146,16 @@ class EngineConfig:
             raise ExperimentError("budget_per_round must be positive")
         if self.block_size < 2:
             raise ExperimentError("block_size must be at least 2")
+        if self.shards is not None:
+            if self.shards < 1:
+                raise ExperimentError("shards must be at least 1")
+            if self.backend is not None and self.backend != "sharded":
+                raise ExperimentError(
+                    "shards only applies to the 'sharded' backend, got "
+                    f"backend={self.backend!r}"
+                )
+        if self.parallelism is not None and self.parallelism < 1:
+            raise ExperimentError("parallelism must be at least 1")
         if self.report_log_limit is not None and self.report_log_limit < 1:
             raise ExperimentError("report_log_limit must be positive")
         if self.seed_policy not in SEED_POLICIES:
@@ -134,6 +190,39 @@ class EngineConfig:
             get_data_plane()
         )
 
+    def resolved_parallelism(self) -> int:
+        """The round parallelism, after the precedence order."""
+        return self.parallelism if self.parallelism is not None else (
+            get_default_parallelism()
+        )
+
+    def backend_factory_options(self) -> dict:
+        """The backend-specific factory options this config implies.
+
+        Only the sharded engine takes options today: its shard count and
+        — so multi-core engines parallelize shard maintenance with the
+        same knob that parallelizes their rounds — the bulk-dispatch
+        worker width.  Raises rather than silently dropping ``shards``
+        when the *resolved* backend is not sharded (``__post_init__`` can
+        only check an explicit ``backend`` field; the process default is
+        known here, at engine build time).
+        """
+        if self.resolved_backend() != "sharded":
+            if self.shards is not None:
+                raise ExperimentError(
+                    f"shards={self.shards} requires the 'sharded' "
+                    f"backend, but this engine resolves to "
+                    f"{self.resolved_backend()!r}"
+                )
+            return {}
+        options: dict = {}
+        if self.shards is not None:
+            options["shards"] = self.shards
+        workers = self.resolved_parallelism()
+        if workers > 1:
+            options["workers"] = workers
+        return options
+
     @contextmanager
     def apply(self) -> Iterator["EngineConfig"]:
         """Scope the active defaults to this config's explicit choices.
@@ -143,10 +232,18 @@ class EngineConfig:
         non-``None`` ``data_plane`` becomes a context-local override
         (:func:`~repro.hiddendb.store.overriding_data_plane`): it governs
         everything run inside the scope on this thread and is invisible
-        to concurrent threads — no process-global state is mutated.
+        to concurrent threads — no process-global state is mutated.  A
+        non-``None`` ``shards`` scopes the sharded engine's default
+        options; a non-``None`` ``parallelism`` scopes the process
+        default engines resolve against.
         """
+        shard_options = (
+            {"shards": self.shards} if self.shards is not None else None
+        )
         with using_backend(self.backend), overriding_data_plane(
             self.data_plane
+        ), using_backend_options("sharded", shard_options), using_parallelism(
+            self.parallelism
         ):
             yield self
 

@@ -14,16 +14,26 @@ service boundary:
   its round over the shared store) → ``apply_updates()`` /
   ``advance_round()`` → repeat, with ``stream_reports()`` draining the
   report log;
-* every public entry point is serialized on one reentrant lock, so
-  sessions can be submitted/cancelled/run from multiple threads without
-  torn state; within a round, tasks execute deterministically in
-  submission order, which keeps estimates bit-identical to sequential
-  single-estimator runs (see ``tests/test_api_engine.py``).
+* two locks serialize the boundary: the *session lock* guards the task
+  table and report log (``submit`` / ``cancel`` / ``stream_reports`` /
+  ``budget_ledger`` — always short critical sections), while the *round
+  barrier* guards store access (``run_round`` vs ``apply_updates`` /
+  ``load`` / ``advance_round``), so observers are never blocked behind a
+  long round and mutations can never interleave a round's reads;
+* within a round, tasks run over the round-static store — sequentially in
+  submission order, or fanned out to a worker pool
+  (``run_round(parallel=N)`` / ``EngineConfig.parallelism``).  Each task
+  owns its RNG, its interface counters, and its session, and the store is
+  read-concurrent (see :class:`~repro.hiddendb.store.TupleStore`), so the
+  parallel schedule is bit-identical to the sequential one; reports are
+  merged in deterministic submission order either way (see
+  ``tests/test_engine_concurrency.py``).
 """
 
 from __future__ import annotations
 
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import Callable, Iterator, Mapping, Sequence
 
@@ -35,7 +45,7 @@ from ..hiddendb.database import HiddenDatabase
 from ..hiddendb.interface import TopKInterface
 from ..hiddendb.ranking import RankingPolicy
 from ..hiddendb.schema import Schema
-from ..hiddendb.store import overriding_data_plane
+from ..hiddendb.store import get_data_plane, overriding_data_plane
 from .config import EngineConfig
 
 
@@ -235,6 +245,7 @@ class Engine:
                 ranking=ranking,
                 block_size=self.config.block_size,
                 backend=self.config.backend,
+                backend_options=self.config.backend_factory_options(),
             )
         elif schema is not None:
             raise ExperimentError("pass either db or schema, not both")
@@ -243,8 +254,28 @@ class Engine:
                 "ranking only applies when the engine builds the database; "
                 "an existing db keeps the policy it was built with"
             )
+        elif self.config.shards is not None and db.backend != "sharded":
+            # An existing db stands as built; a shard count that cannot
+            # apply to it must not be silently dropped.  (A pre-built
+            # *sharded* db is fine — the Experiment flow constructs it
+            # under config.apply(), which scopes the same shard count.)
+            raise ExperimentError(
+                f"config pins shards={self.config.shards} but the "
+                f"supplied database uses backend {db.backend!r}"
+            )
         self.db = db
+        #: Session lock: task table + report log.  Held only for short,
+        #: bounded critical sections — never across estimator execution —
+        #: so ``stream_reports()`` / ``budget_ledger()`` from other
+        #: threads respond while a long round is in flight.
         self._lock = threading.RLock()
+        #: Round barrier: store access.  ``run_round`` holds it while its
+        #: tasks read the store; ``apply_updates`` / ``load`` /
+        #: ``advance_round`` hold it while mutating, so the store is
+        #: round-static exactly as the paper's round model requires.
+        #: Reentrant so an ``apply_updates`` callback may call
+        #: ``advance_round`` itself.
+        self._round_lock = threading.RLock()
         self._tasks: dict[str, TaskHandle] = {}
         #: Execution log: ``(task name, report)`` in the order produced,
         #: bounded by ``config.report_log_limit`` (oldest entries drop).
@@ -262,15 +293,17 @@ class Engine:
 
     @contextmanager
     def _scoped(self):
-        """This engine's lock plus its context-local plane pin.
+        """The round barrier plus this engine's context-local plane pin.
 
         A pinned ``data_plane`` is a :class:`~contextvars.ContextVar`
         override visible only to code this engine runs on the current
         thread — the process-global switch is never touched, so engines
         on other threads (pinned to anything or unpinned) proceed fully
-        concurrently and can never observe this engine's plane.
+        concurrently and can never observe this engine's plane.  Worker
+        threads of a parallel round re-establish the pin themselves
+        (ContextVars do not cross thread boundaries).
         """
-        with self._lock, overriding_data_plane(self.config.data_plane):
+        with self._round_lock, overriding_data_plane(self.config.data_plane):
             yield
 
     # ------------------------------------------------------------------
@@ -319,7 +352,7 @@ class Engine:
 
     def advance_round(self) -> int:
         """Start the next round and return its index."""
-        with self._lock:
+        with self._round_lock:
             return self.db.advance_round()
 
     # ------------------------------------------------------------------
@@ -330,8 +363,12 @@ class Engine:
 
         The task gets its own :class:`TopKInterface` (per-tenant budget
         accounting and query counters) bound to the shared database.
+
+        Holds the round barrier (estimator construction may build and
+        backfill indexes over the shared store) and then the session lock
+        for the table insert — always in that order.
         """
-        with self._scoped():
+        with self._scoped(), self._lock:
             if task.name in self._tasks:
                 raise ExperimentError(
                     f"task {task.name!r} already submitted"
@@ -364,27 +401,120 @@ class Engine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _run_estimator(self, handle: TaskHandle, plane: str) -> RoundReport:
+        """One task's round, pinned to the round's resolved data plane.
+
+        ``plane`` is captured on the calling thread *after* every override
+        is in scope (engine pin > caller's context-local override >
+        process default), because worker threads do not inherit the
+        submitting thread's ContextVars — without the explicit pin a
+        parallel round would silently drop a caller-scoped plane.
+        """
+        with overriding_data_plane(plane):
+            return handle.estimator.run_round()
+
     def run_round(
-        self, tasks: Sequence[str] | None = None
+        self,
+        tasks: Sequence[str] | None = None,
+        *,
+        parallel: int | None = None,
     ) -> dict[str, RoundReport]:
         """Run one round for every (or the named) active task.
 
-        Tasks execute deterministically in submission order over the
-        shared, round-static store; each spends only its own budget.
-        Returns ``{task name: report}``.
+        Tasks run over the shared, round-static store; each spends only
+        its own budget.  ``parallel`` is the worker-thread count (``None``
+        defers to ``config.parallelism``, then the process default;
+        ``1`` = sequential).  Estimates are bit-identical across schedules
+        — every task owns its RNG, interface counters, and session, and
+        the store honors the reader-concurrency contract — and reports
+        are recorded in deterministic submission order either way.
+
+        The round barrier is held for the duration (mutations wait), but
+        the session lock is only taken for the initial task snapshot and
+        the final report merge, so ``stream_reports()`` and
+        ``budget_ledger()`` from other threads stay responsive during a
+        long round.  Returns ``{task name: report}``.
         """
         with self._scoped():
-            if tasks is None:
-                selected = list(self._tasks.values())
+            # The effective plane, with every override already in scope
+            # (the engine's pin via _scoped, or the caller's own
+            # context-local override); workers re-pin it explicitly.
+            plane = get_data_plane()
+            with self._lock:
+                if tasks is None:
+                    selected = list(self._tasks.values())
+                else:
+                    selected = [self[name] for name in tasks]
+            workers = (
+                parallel
+                if parallel is not None
+                else self.config.resolved_parallelism()
+            )
+            if workers < 1:
+                raise ExperimentError("parallel must be at least 1")
+            # Outcomes are RoundReports or the exception a task raised;
+            # completed tasks' reports are recorded either way (their
+            # budget was spent and their RNG advanced — dropping them
+            # would desync the ledger from actual interface usage).
+            produced: list[RoundReport | BaseException] = []
+            if workers > 1 and len(selected) > 1:
+                if any(
+                    getattr(handle.estimator, "on_query", None) is not None
+                    for handle in selected
+                ):
+                    # The intra-round update driver mutates the store
+                    # between queries — incompatible with concurrent
+                    # readers.  (A single hooked task runs sequentially
+                    # below regardless of the worker count.)
+                    raise ExperimentError(
+                        "run_round(parallel>1) cannot serve estimators "
+                        "with an on_query mutation hook (intra-round "
+                        "update model)"
+                    )
+                with ThreadPoolExecutor(
+                    max_workers=min(workers, len(selected)),
+                    thread_name_prefix="repro-round",
+                ) as pool:
+                    futures = [
+                        pool.submit(self._run_estimator, handle, plane)
+                        for handle in selected
+                    ]
+                    for future in futures:
+                        try:
+                            produced.append(future.result())
+                        except BaseException as exc:
+                            produced.append(exc)
             else:
-                selected = [self[name] for name in tasks]
-            reports: dict[str, RoundReport] = {}
-            for handle in selected:
-                report = handle.estimator.run_round()
-                handle._record(report)
-                self._append_log(handle.name, report)
-                reports[handle.name] = report
-            return reports
+                for handle in selected:
+                    try:
+                        produced.append(
+                            self._run_estimator(handle, plane)
+                        )
+                    except BaseException as exc:
+                        # Sequential semantics: later tasks do not run
+                        # this round (matches the pre-parallel engine).
+                        produced.append(exc)
+                        break
+            with self._lock:
+                reports: dict[str, RoundReport] = {}
+                error: BaseException | None = None
+                for handle, outcome in zip(selected, produced):
+                    if isinstance(outcome, BaseException):
+                        if error is None:
+                            error = outcome
+                        continue
+                    handle._record(outcome)
+                    # A task cancelled (or cancelled-and-replaced) while
+                    # the round ran keeps the report on its own handle —
+                    # returned to the cancel() caller — but stays out of
+                    # the engine log, which must agree with the ledger
+                    # about whatever currently owns the name.
+                    if self._tasks.get(handle.name) is handle:
+                        self._append_log(handle.name, outcome)
+                    reports[handle.name] = outcome
+                if error is not None:
+                    raise error
+                return reports
 
     def stream_reports(
         self, task: str | None = None

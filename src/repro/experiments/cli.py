@@ -60,6 +60,21 @@ def _build_parser() -> argparse.ArgumentParser:
              "the process default — set_data_plane, then REPRO_DATA_PLANE, "
              "then 'vectorized')",
     )
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count of the sharded storage engine "
+             "(requires --backend sharded)",
+    )
+    run.add_argument(
+        "--parallelism",
+        type=int,
+        default=None,
+        help="worker threads per engine round (and per-shard bulk "
+             "dispatch width on a sharded backend); default 1 = sequential."
+             "  Estimates are bit-identical at any setting.",
+    )
     run.add_argument("--out", default=None, help="append output to a file")
     return parser
 
@@ -92,12 +107,19 @@ def _run_one(figure_id: str, args: argparse.Namespace) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
     if args.command == "list":
         for figure_id, function in FIGURES.items():
             summary = (function.__doc__ or "").strip().splitlines()[0]
             print(f"{figure_id:24s} {summary}")
         return 0
+    if args.shards is not None and args.backend != "sharded":
+        parser.error("--shards requires --backend sharded")
+    if args.shards is not None and args.shards < 1:
+        parser.error("--shards must be at least 1")
+    if args.parallelism is not None and args.parallelism < 1:
+        parser.error("--parallelism must be at least 1")
     if args.figure != "all" and args.figure not in FIGURES:
         print(f"unknown figure {args.figure!r}; try 'list'", file=sys.stderr)
         return 2
@@ -105,7 +127,12 @@ def main(argv: list[str] | None = None) -> int:
     chunks = []
     # One config object carries every knob; applying it scopes the process
     # defaults that the figure drivers' engines then inherit.
-    config = EngineConfig(backend=args.backend, data_plane=args.data_plane)
+    config = EngineConfig(
+        backend=args.backend,
+        data_plane=args.data_plane,
+        shards=args.shards,
+        parallelism=args.parallelism,
+    )
     with config.apply():
         for figure_id in targets:
             text = _run_one(figure_id, args)

@@ -6,13 +6,19 @@ top-k search interface, and budgeted query sessions.
 
 from .backends import (
     PackedArrayBackend,
+    ShardedBackend,
     StorageBackend,
     available_backends,
     get_default_backend,
+    get_default_backend_options,
     make_backend,
+    mod_many,
     register_backend,
     set_default_backend,
+    set_default_backend_options,
+    shift_many,
     using_backend,
+    using_backend_options,
 )
 from .database import HiddenDatabase
 from .interface import TopKInterface
@@ -48,6 +54,7 @@ __all__ = [
     "RandomScore",
     "RecencyScore",
     "Schema",
+    "ShardedBackend",
     "SortedKeyList",
     "StorageBackend",
     "TopKInterface",
@@ -57,12 +64,17 @@ __all__ = [
     "boolean_schema",
     "get_data_plane",
     "get_default_backend",
+    "get_default_backend_options",
     "make_backend",
     "make_tuple",
+    "mod_many",
     "overriding_data_plane",
     "register_backend",
     "set_data_plane",
     "set_default_backend",
+    "set_default_backend_options",
+    "shift_many",
     "using_backend",
+    "using_backend_options",
     "using_data_plane",
 ]

@@ -8,7 +8,7 @@ module separates the *query interface* (:class:`StorageBackend`) from the
 globally (the ``--backend`` CLI flag and the ``REPRO_BENCH_BACKEND``
 benchmark knob).
 
-Two engines ship:
+Three engines ship:
 
 * ``"blocked"`` — :class:`~repro.hiddendb.store.SortedKeyList`, the seed's
   blocked sorted list: O(sqrt n) point updates, O(log n + #blocks) rank.
@@ -20,15 +20,44 @@ Two engines ship:
   once instead of paying per-key insertion, and repeated rank probes — the
   prefix-conjunction workload issues the same node boundaries over and over
   — hit an amortized rank cache that is invalidated on mutation.
+* ``"sharded"`` — :class:`ShardedBackend` below: hash-partitions the key
+  multiset across N inner engines (each ``packed`` by default).  Bulk
+  mutations split the batch per shard and can dispatch the per-shard work
+  to a thread pool (numpy sorts release the GIL, so shard merges genuinely
+  overlap); range reads k-way-merge the per-shard sorted slices.  Shard
+  count, the inner engine, and the worker count arrive through the
+  *backend options* channel (``make_backend(..., shards=8)``), which
+  :class:`~repro.api.EngineConfig` and the CLI (``--shards``) populate.
+
+**Reader-concurrency contract** (all shipped engines): any number of
+threads may issue read-only calls (``rank`` / ``count_range`` /
+``iter_range`` / ``range_keys`` / ``__contains__`` / ``__len__`` /
+iteration) concurrently — internal read-side caches (rank caches, the
+wide-run probe array) are only ever *added to* by readers, which is safe
+under the GIL, and compactions replace runs instead of mutating them, so
+a view handed out by ``range_keys`` stays a valid snapshot.  Mutations
+(``add`` / ``remove`` / ``bulk_*``) must be externally serialized against
+both readers and other writers; the engine facade's round barrier
+(:meth:`repro.api.Engine.run_round` vs ``apply_updates``) provides that
+serialization.
 """
 
 from __future__ import annotations
 
 from array import array
 from bisect import bisect_left, bisect_right, insort
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from heapq import merge as heap_merge
-from typing import Callable, Iterable, Iterator, Protocol, runtime_checkable
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -44,6 +73,145 @@ _INT64_MAX = 2**63 - 1
 #: Entries kept in the rank cache before it stops growing (safety valve;
 #: the cache is cleared on every mutation anyway).
 _RANK_CACHE_LIMIT = 65536
+
+#: Default shard count of the ``sharded`` storage engine.
+DEFAULT_SHARDS = 8
+
+#: One 63-bit limb of a wide (>= 2**63) key.
+_LIMB_BITS = 63
+_LIMB_MASK = (1 << _LIMB_BITS) - 1
+
+#: Keys are processed this many at a time by the chunked big-int helpers,
+#: bounding the transient object arrays they allocate.
+_CHUNK = 8192
+
+#: Largest modulus the vectorized limb-Horner reduction supports (the
+#: 16-bit-digit modular multiply stays exact in uint64 below this).
+_MOD_MANY_BOUND = 1 << 48
+
+
+def _mulmod_scalar_vec(
+    values: np.ndarray, factor: int, modulus: int
+) -> np.ndarray:
+    """``(values * factor) % modulus`` exactly, for uint64 ``values`` and a
+    scalar ``factor``, both already reduced mod ``modulus < 2**48``.
+
+    ``factor`` is split into 16-bit digits so every intermediate product
+    stays below 2**64 (``values < 2**48``, digit ``< 2**16``) — Horner over
+    the digits then reduces after each step.
+    """
+    if modulus < 1 << 31:
+        # Direct product fits: values < 2**31, factor < 2**31.
+        return (values * np.uint64(factor)) % np.uint64(modulus)
+    m = np.uint64(modulus)
+    out = np.zeros_like(values)
+    started = False
+    for shift in (32, 16, 0):
+        digit = (factor >> shift) & 0xFFFF
+        if started:
+            out = ((out << np.uint64(16)) % m + (values * np.uint64(digit)) % m) % m
+        elif digit:
+            out = (values * np.uint64(digit)) % m
+            started = True
+    return out
+
+
+def _object_chunks(keys: Sequence[int]) -> Iterator[np.ndarray]:
+    """The keys as object-dtype chunks (C-dispatched big-int arithmetic)."""
+    for start in range(0, len(keys), _CHUNK):
+        yield np.array(keys[start : start + _CHUNK], dtype=object)
+
+
+def _limbs_of(chunk: np.ndarray) -> list[np.ndarray]:
+    """63-bit limbs of a non-negative big-int chunk, least significant
+    first, each as an int64 vector.  No per-key Python-bytecode loop: the
+    mask/shift/convert steps are all C-dispatched object-array ufuncs."""
+    limbs: list[np.ndarray] = []
+    remaining = chunk
+    while True:
+        limbs.append((remaining & _LIMB_MASK).astype(np.int64))
+        remaining = remaining >> _LIMB_BITS
+        if not remaining.any():
+            return limbs
+
+
+def mod_many(keys, modulus: int) -> np.ndarray:
+    """``key % modulus`` for every key, as an int64 vector.
+
+    The vectorized twin of ``[key % modulus for key in keys]`` for key
+    schemas wider than 64 bits: keys are processed in chunks, decomposed
+    into int64 limbs with object-array arithmetic (one C-dispatched ufunc
+    per limb instead of a Python-bytecode loop per key), and recombined
+    with an exact modular Horner evaluation.  Power-of-two moduli — the
+    default ``tid_span`` is ``2**48`` — reduce to a single masked low
+    limb.  Moduli in ``[2**48, 2**63]`` that are not powers of two fall
+    back to the scalar loop (the uint64 Horner cannot carry them
+    exactly); above ``2**63`` the remainders themselves stop fitting the
+    int64 result vector, so the modulus is rejected outright.
+
+    Parity with the scalar loop is property-tested
+    (``tests/test_wide_key_vectorization.py``).
+    """
+    if modulus < 1:
+        raise ValueError("modulus must be positive")
+    if modulus > 1 << 63:
+        raise ValueError(
+            "mod_many returns int64 remainders; modulus must be <= 2**63"
+        )
+    if isinstance(keys, np.ndarray) and keys.dtype != object:
+        if modulus > _INT64_MAX:
+            # modulus == 2**63 (guarded above): a power of two one past
+            # int64, so the two's-complement mask is the exact remainder.
+            return np.asarray(keys, dtype=np.int64) & (modulus - 1)
+        return np.asarray(keys, dtype=np.int64) % modulus
+    n = len(keys)
+    out = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return out
+    power_of_two = modulus & (modulus - 1) == 0
+    if not power_of_two and modulus >= _MOD_MANY_BOUND:
+        # Rare configuration (tid_span is a power of two everywhere in the
+        # repo): exactness over speed.
+        return np.fromiter((key % modulus for key in keys), np.int64, count=n)
+    position = 0
+    base_mod = pow(2, _LIMB_BITS, modulus) if not power_of_two else 0
+    for chunk in _object_chunks(keys):
+        stop = position + len(chunk)
+        if power_of_two:
+            # key % 2**j == low limb % 2**j for j <= 63: truncation keeps
+            # every bit the mask can see (and, like ``%``, a two's
+            # complement ``&`` maps negatives into [0, 2**j)).
+            out[position:stop] = (chunk & (modulus - 1)).astype(np.int64)
+        else:
+            if (chunk < 0).any():
+                # The limb decomposition would loop forever on a negative
+                # key (arithmetic shift converges to -1, never 0); keys
+                # are non-negative by construction everywhere in the repo.
+                raise ValueError("mod_many requires non-negative keys")
+            limbs = _limbs_of(chunk)
+            acc = np.zeros(len(chunk), dtype=np.uint64)
+            m = np.uint64(modulus)
+            for limb in reversed(limbs):
+                acc = _mulmod_scalar_vec(acc, base_mod, modulus)
+                acc = (acc + limb.astype(np.uint64) % m) % m
+            out[position:stop] = acc.astype(np.int64)
+        position = stop
+    return out
+
+
+def shift_many(keys: Sequence[int], shift: int) -> np.ndarray:
+    """``key >> shift`` for every key, as an int64 vector (chunked
+    object-array shifts — the construction path of the wide-run probe
+    array).  Every shifted value must fit int64; callers guarantee that by
+    deriving ``shift`` from the key universe's bit length."""
+    n = len(keys)
+    out = np.empty(n, dtype=np.int64)
+    position = 0
+    for chunk in _object_chunks(keys):
+        stop = position + len(chunk)
+        out[position:stop] = (chunk >> shift).astype(np.int64)
+        position = stop
+    return out
 
 
 def _as_int64_batch(keys) -> np.ndarray | None:
@@ -149,10 +317,19 @@ class PackedArrayBackend:
     ``rank(key)`` is then ``bisect(run) + bisect(tail) - bisect(dead)``.
     When the buffers outgrow ``max(min_buffer, len(run) / 8)`` they are
     merged back into a fresh run — O(n), amortized O(1) per mutation.
+
+    Wide-key runs (key universe beyond int64, so the run is a plain list
+    of Python big ints) additionally keep a *probe array*: the int64
+    vector of every run key's top 63 bits, rebuilt at each compaction.  A
+    rank probe then narrows to the (typically tiny) equal-top-bits window
+    with two C-speed ``np.searchsorted`` calls before the exact big-int
+    bisect — replacing ~log2(n) arbitrary-precision comparisons per probe
+    with two int64 binary searches, the ``count_prefix`` hot spot of
+    wide-schema workloads like fig12's m=50.
     """
 
     __slots__ = ("_run", "_tail", "_dead", "_size", "_packed", "_min_buffer",
-                 "_rank_cache")
+                 "_rank_cache", "_key_bound", "_hi_shift", "_run_hi")
 
     def __init__(
         self,
@@ -162,7 +339,14 @@ class PackedArrayBackend:
     ):
         self._packed = key_bound is not None and 0 <= key_bound <= _INT64_MAX
         self._min_buffer = min_buffer
-        self._run = self._new_run(sorted(keys))
+        self._key_bound = key_bound
+        # Wide-key probe plan: shift every key so the result fits int64.
+        if key_bound is not None and not self._packed:
+            self._hi_shift = max(0, int(key_bound).bit_length() - 63)
+        else:
+            self._hi_shift = 0
+        self._run_hi: np.ndarray | None = None
+        self._install_run(sorted(keys))
         self._tail: list[int] = []
         self._dead: list[int] = []
         self._size = len(self._run)
@@ -177,6 +361,14 @@ class PackedArrayBackend:
         if self._packed:
             return array("q", sorted_keys)
         return list(sorted_keys)
+
+    def _install_run(self, sorted_keys) -> None:
+        """Replace the main run (and rebuild the wide-key probe array)."""
+        self._run = self._new_run(sorted_keys)
+        if self._hi_shift and len(self._run) >= 64:
+            self._run_hi = shift_many(self._run, self._hi_shift)
+        else:
+            self._run_hi = None
 
     def __len__(self) -> int:
         return self._size
@@ -198,7 +390,7 @@ class PackedArrayBackend:
     def _compact(self) -> None:
         """Merge the tail into the run and drop dead keys (O(n))."""
         if self._tail or self._dead:
-            self._run = self._new_run(
+            self._install_run(
                 list(heap_merge(self._iter_live_run(), self._tail))
             )
             self._tail = []
@@ -321,13 +513,29 @@ class PackedArrayBackend:
             return True
         return self._count(self._run, key) - self._count(self._dead, key) > 0
 
+    def _run_bisect(self, key: int) -> int:
+        """``bisect_left`` over the main run, probe-accelerated when wide.
+
+        Keys sharing the same top 63 bits form a contiguous window of the
+        run; two int64 ``searchsorted`` probes locate it and the exact
+        big-int bisect only runs inside.  Truncation is monotone, so the
+        window bounds are exact.
+        """
+        run_hi = self._run_hi
+        if run_hi is not None and 0 <= key < self._key_bound:
+            probe = key >> self._hi_shift
+            lo = int(np.searchsorted(run_hi, probe, side="left"))
+            hi = int(np.searchsorted(run_hi, probe, side="right"))
+            return bisect_left(self._run, key, lo, hi)
+        return bisect_left(self._run, key)
+
     def rank(self, key: int) -> int:
         """Number of stored keys strictly smaller than ``key``."""
         cached = self._rank_cache.get(key)
         if cached is not None:
             return cached
         value = (
-            bisect_left(self._run, key)
+            self._run_bisect(key)
             + bisect_left(self._tail, key)
             - bisect_left(self._dead, key)
         )
@@ -414,6 +622,257 @@ class PackedArrayBackend:
         assert self._size == len(run) + len(self._tail) - len(self._dead), (
             "size counter out of sync"
         )
+        if self._run_hi is not None:
+            assert len(self._run_hi) == len(run), "stale probe array"
+            assert self._run_hi.tolist() == [
+                key >> self._hi_shift for key in run
+            ], "probe array out of sync with run"
+
+
+class ShardedBackend:
+    """Hash-partitioned composite engine over N inner sorted multisets.
+
+    Every key lives in shard ``key % num_shards`` — modulo of the mixed
+    radix key is effectively a hash of the tuple id digit, so shards stay
+    balanced no matter how skewed the attribute-value distribution is.
+    Point and bulk mutations dispatch to the owning shard; ``rank`` sums
+    per-shard ranks (amortized by a sharded-level rank cache, same policy
+    as the packed engine's); ``iter_range`` / ``range_keys`` k-way-merge
+    the per-shard sorted slices (one ``np.sort`` over the concatenated
+    int64 slices when every shard hands back an array).
+
+    ``workers > 1`` dispatches per-shard *bulk* mutations to a lazily
+    created thread pool.  The inner engines are fully independent — a key
+    maps to exactly one shard — and the per-shard work is dominated by
+    numpy sorts and searchsorted passes, which release the GIL, so shard
+    merges genuinely overlap on multi-core hosts.  Reads follow the
+    module-level reader-concurrency contract; the pool is used only
+    inside externally-serialized mutations, never by readers.
+    """
+
+    __slots__ = ("_shards", "num_shards", "inner_name", "_size",
+                 "_rank_cache", "_workers")
+
+    def __init__(
+        self,
+        num_shards: int = DEFAULT_SHARDS,
+        inner: str = "packed",
+        key_bound: int | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        workers: int = 0,
+    ):
+        if num_shards < 1:
+            raise SchemaError("sharded backend needs at least 1 shard")
+        self.num_shards = num_shards
+        self.inner_name = resolve_backend(inner)
+        self._shards: list[StorageBackend] = [
+            make_backend(inner, block_size=block_size, key_bound=key_bound)
+            for _ in range(num_shards)
+        ]
+        self._size = 0
+        self._rank_cache: dict[int, int] = {}
+        self._workers = max(int(workers or 0), 0)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _shard_of(self, key: int) -> StorageBackend:
+        return self._shards[key % self.num_shards]
+
+    def _dirty(self) -> None:
+        if self._rank_cache:
+            self._rank_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def add(self, key: int) -> None:
+        """Insert ``key`` keeping order; duplicates are allowed."""
+        self._shard_of(key).add(key)
+        self._size += 1
+        self._dirty()
+
+    def remove(self, key: int) -> None:
+        """Remove one occurrence of ``key``; raise ``ValueError`` if absent."""
+        self._shard_of(key).remove(key)
+        self._size -= 1
+        self._dirty()
+
+    def _partition(self, keys) -> list:
+        """Split a batch into per-shard sub-batches (index = shard).
+
+        int64 arrays partition with one stable argsort of the shard ids
+        (contiguous zero-copy slices of the permuted batch); other
+        iterables — including wide Python-int keys — group via the chunked
+        :func:`mod_many` reduction, never a per-key ``%`` in bytecode.
+        """
+        count = self.num_shards
+        if count == 1:
+            return [keys if isinstance(keys, np.ndarray) else list(keys)]
+        array_batch = _as_int64_batch(keys)
+        if array_batch is not None:
+            shard_ids = array_batch % count
+            order = np.argsort(shard_ids, kind="stable")
+            ordered = array_batch[order]
+            bounds = np.searchsorted(shard_ids[order], np.arange(count + 1))
+            return [
+                ordered[bounds[s]:bounds[s + 1]] for s in range(count)
+            ]
+        keys = list(keys)
+        shard_ids = mod_many(keys, count)
+        parts: list[list[int]] = [[] for _ in range(count)]
+        for key, shard in zip(keys, shard_ids.tolist()):
+            parts[shard].append(key)
+        return parts
+
+    def _dispatch(self, method: str, parts: list) -> None:
+        """Run ``shard.<method>(part)`` for every non-empty sub-batch,
+        on an ephemeral worker pool when workers are configured.
+
+        The pool lives only for this dispatch: thread start-up is
+        microseconds against the per-shard sorts it overlaps, and a
+        per-backend pool would pin ``workers`` idle threads per prefix
+        index for the store's whole lifetime.  Dispatches are mutations,
+        already serialized externally, so no pool is ever shared.
+        """
+        jobs = [
+            (shard, part)
+            for shard, part in zip(self._shards, parts)
+            if len(part)
+        ]
+        if self._workers > 1 and len(jobs) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(self._workers, len(jobs)),
+                thread_name_prefix="repro-shard",
+            ) as pool:
+                futures = [
+                    pool.submit(getattr(shard, method), part)
+                    for shard, part in jobs
+                ]
+                for future in futures:
+                    future.result()
+        else:
+            for shard, part in jobs:
+                getattr(shard, method)(part)
+
+    def bulk_add(self, keys: Iterable[int]) -> None:
+        """Insert a batch: partition once, one inner merge per shard."""
+        parts = self._partition(keys)
+        added = sum(len(part) for part in parts)
+        if not added:
+            return
+        self._dispatch("bulk_add", parts)
+        self._size += added
+        self._dirty()
+
+    def _verify_removable(self, shard: StorageBackend, part) -> None:
+        """Raise ``ValueError`` unless every occurrence in ``part`` has a
+        matching occurrence in ``shard`` (two rank probes per distinct
+        key)."""
+        if isinstance(part, np.ndarray):
+            distinct, needed = np.unique(part, return_counts=True)
+            pairs = zip(distinct.tolist(), needed.tolist())
+        else:
+            counts: dict[int, int] = {}
+            for key in part:
+                counts[key] = counts.get(key, 0) + 1
+            pairs = counts.items()
+        for key, needed in pairs:
+            if shard.count_range(key, key + 1) < needed:
+                raise ValueError(f"key {key} not in {type(self).__name__}")
+
+    def bulk_remove(self, keys: Iterable[int]) -> None:
+        """Remove a batch, one inner pass per shard.
+
+        Every occurrence is verified against its shard *before* any shard
+        mutates (missing keys are the only contract failure mode), so a
+        failed bulk raises ``ValueError`` with the composite multiset
+        untouched — stronger than the shipped inner engines' own small
+        batch paths, which may partially apply before raising.
+        """
+        parts = self._partition(keys)
+        if not any(len(part) for part in parts):
+            return
+        for shard, part in zip(self._shards, parts):
+            if len(part):
+                self._verify_removable(shard, part)
+        self._dispatch("bulk_remove", parts)
+        self._size -= sum(len(part) for part in parts)
+        self._dirty()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, key: int) -> bool:
+        return key in self._shard_of(key)
+
+    def rank(self, key: int) -> int:
+        """Number of stored keys strictly smaller than ``key``."""
+        cached = self._rank_cache.get(key)
+        if cached is not None:
+            return cached
+        value = sum(shard.rank(key) for shard in self._shards)
+        if len(self._rank_cache) < _RANK_CACHE_LIMIT:
+            self._rank_cache[key] = value
+        return value
+
+    def count_range(self, lo: int, hi: int) -> int:
+        """Number of keys in the half-open interval ``[lo, hi)``."""
+        if hi <= lo:
+            return 0
+        return self.rank(hi) - self.rank(lo)
+
+    def iter_range(self, lo: int, hi: int) -> Iterator[int]:
+        """Yield keys in ``[lo, hi)`` ascending (k-way shard merge)."""
+        if hi <= lo:
+            return iter(())
+        return heap_merge(
+            *(shard.iter_range(lo, hi) for shard in self._shards)
+        )
+
+    def range_keys(self, lo: int, hi: int) -> "np.ndarray | list[int]":
+        """Keys in ``[lo, hi)`` as one sorted vector.
+
+        Merges the per-shard sorted run slices: int64 slices concatenate
+        and sort in C; mixed or wide-key slices fall back to a heap merge
+        with identical contents.
+        """
+        if hi <= lo:
+            slices = []
+        else:
+            slices = [
+                shard.range_keys(lo, hi) for shard in self._shards
+            ]
+            slices = [part for part in slices if len(part)]
+        if not slices:
+            first = self._shards[0].range_keys(0, 0)
+            return (
+                np.empty(0, dtype=np.int64)
+                if isinstance(first, np.ndarray)
+                else []
+            )
+        if len(slices) == 1:
+            return slices[0]
+        if all(isinstance(part, np.ndarray) for part in slices):
+            merged = np.concatenate(slices)
+            merged.sort()
+            return merged
+        return list(heap_merge(*slices))
+
+    def __iter__(self) -> Iterator[int]:
+        return heap_merge(*(iter(shard) for shard in self._shards))
+
+    def check_invariants(self) -> None:
+        """Validate shard placement, sizes, and every inner engine."""
+        total = 0
+        for shard_index, shard in enumerate(self._shards):
+            shard.check_invariants()
+            total += len(shard)
+            for key in shard:
+                assert key % self.num_shards == shard_index, (
+                    "key in the wrong shard"
+                )
+        assert total == self._size, "size counter out of sync"
 
 
 # ----------------------------------------------------------------------
@@ -421,12 +880,20 @@ class PackedArrayBackend:
 # ----------------------------------------------------------------------
 
 #: Factory: keyword arguments ``block_size`` and ``key_bound`` (either may
-#: be ignored) to a fresh, empty backend.
+#: be ignored) plus any backend-specific options to a fresh, empty backend.
 BackendFactory = Callable[..., StorageBackend]
 
 _REGISTRY: dict[str, BackendFactory] = {}
 
 _default_backend = "blocked"
+
+#: Process-wide default backend *options*, keyed by backend name and
+#: merged under any explicit options at :func:`make_backend` time
+#: (explicit wins).  The options channel is how engine-specific knobs —
+#: ``shards`` / ``workers`` / ``inner`` for the sharded engine — travel
+#: without widening every constructor signature in between; keying by
+#: name keeps one engine's defaults from leaking into another's factory.
+_default_backend_options: dict[str, dict] = {}
 
 
 def register_backend(name: str, factory: BackendFactory) -> None:
@@ -482,19 +949,72 @@ def using_backend(name: str | None):
         set_default_backend(previous)
 
 
+def get_default_backend_options(name: str) -> dict:
+    """A copy of the process-wide default options for backend ``name``."""
+    return dict(_default_backend_options.get(name, {}))
+
+
+def set_default_backend_options(
+    name: str, options: Mapping | None
+) -> dict | None:
+    """Replace the default options of backend ``name``; returns the
+    previous mapping (``None`` when none was set) so the save/restore
+    idiom round-trips exactly."""
+    previous = _default_backend_options.get(name)
+    if options:
+        _default_backend_options[name] = dict(options)
+    else:
+        _default_backend_options.pop(name, None)
+    return previous
+
+
+@contextmanager
+def using_backend_options(name: str, options: Mapping | None):
+    """Scope the default options of one backend (``None`` = untouched).
+
+    The CLI's ``--shards`` flag uses this so every database a figure
+    driver builds inside the scope picks the sharded engine's shard count
+    up without each driver having to thread the knob explicitly.
+    """
+    if options is None:
+        yield get_default_backend_options(name)
+        return
+    previous = set_default_backend_options(name, options)
+    try:
+        yield dict(options)
+    finally:
+        set_default_backend_options(name, previous)
+
+
 def make_backend(
     name: str | None = None,
     block_size: int = DEFAULT_BLOCK_SIZE,
     key_bound: int | None = None,
+    **options,
 ) -> StorageBackend:
     """Build an empty backend by name (``None`` = process default).
 
     ``key_bound`` is the exclusive upper bound of the key universe when the
     caller knows it (prefix indexes do); packing engines use it to choose a
-    64-bit representation.
+    64-bit representation.  Extra keyword ``options`` are backend-specific
+    (the sharded engine takes ``shards`` / ``inner`` / ``workers``); they
+    are merged over the process-wide defaults
+    (:func:`set_default_backend_options`) and an option the factory does
+    not accept raises :class:`~repro.errors.SchemaError`.
     """
-    factory = _REGISTRY[resolve_backend(name)]
-    return factory(block_size=block_size, key_bound=key_bound)
+    resolved = resolve_backend(name)
+    factory = _REGISTRY[resolved]
+    merged = {**_default_backend_options.get(resolved, {}), **options}
+    try:
+        return factory(block_size=block_size, key_bound=key_bound, **merged)
+    except TypeError as exc:
+        # Chained (`from exc`): the usual cause is an option the factory's
+        # signature lacks, but a TypeError from deeper inside construction
+        # must keep its traceback.
+        raise SchemaError(
+            f"backend {resolved!r} rejected options "
+            f"{sorted(merged)}: {exc}"
+        ) from exc
 
 
 def _packed_factory(
@@ -509,3 +1029,22 @@ def _packed_factory(
 
 
 register_backend("packed", _packed_factory)
+
+
+def _sharded_factory(
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    key_bound: int | None = None,
+    shards: int = DEFAULT_SHARDS,
+    inner: str = "packed",
+    workers: int = 0,
+) -> ShardedBackend:
+    return ShardedBackend(
+        num_shards=int(shards),
+        inner=inner,
+        key_bound=key_bound,
+        block_size=block_size,
+        workers=workers,
+    )
+
+
+register_backend("sharded", _sharded_factory)

@@ -13,7 +13,7 @@ queries* instead (see :class:`repro.data.schedules.IntraRoundDriver`).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -29,7 +29,10 @@ class HiddenDatabase:
 
     ``backend`` selects the storage engine behind every prefix index
     (``None`` = the process-wide default, see
-    :mod:`repro.hiddendb.backends`).
+    :mod:`repro.hiddendb.backends`); ``backend_options`` carries
+    engine-specific factory knobs — ``HiddenDatabase(schema,
+    backend="sharded", backend_options={"shards": 8})`` partitions every
+    index across 8 inner engines.
     """
 
     def __init__(
@@ -38,10 +41,16 @@ class HiddenDatabase:
         ranking: RankingPolicy | None = None,
         block_size: int = DEFAULT_BLOCK_SIZE,
         backend: str | None = None,
+        backend_options: Mapping | None = None,
     ):
         self.schema = schema
         self.ranking = ranking if ranking is not None else RandomScore()
-        self.store = TupleStore(schema, block_size=block_size, backend=backend)
+        self.store = TupleStore(
+            schema,
+            block_size=block_size,
+            backend=backend,
+            backend_options=backend_options,
+        )
         self._round = 1
         self._next_tid = 0
 

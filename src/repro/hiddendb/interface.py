@@ -134,13 +134,15 @@ class TopKInterface:
         self, query: ConjunctiveQuery
     ) -> tuple[tuple[int, ...], list[int]] | None:
         """Find a registered order whose prefix covers the query's attributes."""
+        # Iterate a snapshot: another tenant's thread may register a new
+        # index (ensure_index) while this query plans.
         if not query.predicates:
             # Root query: any registered index (or none yet) works.
-            for attr_order in self.db.store._indexes:
+            for attr_order in self.db.store.index_orders():
                 return attr_order, []
             return None
         wanted = {a: v for a, v in query.predicates}
-        for attr_order in self.db.store._indexes:
+        for attr_order in self.db.store.index_orders():
             head = attr_order[: len(wanted)]
             if set(head) == set(wanted):
                 return attr_order, [wanted[a] for a in head]

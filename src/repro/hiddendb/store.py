@@ -37,10 +37,11 @@ the per-tuple code path — the parity oracle for the batch plane.
 from __future__ import annotations
 
 import os
+import threading
 from bisect import bisect_left, bisect_right, insort
 from contextvars import ContextVar
 from contextlib import contextmanager
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -51,6 +52,7 @@ from .backends import (
     _as_int64_batch,
     _sorted_multiset_subtract,
     make_backend,
+    mod_many,
     register_backend,
     resolve_backend,
 )
@@ -619,7 +621,17 @@ class PrefixIndex:
 
     The key multiset lives in a pluggable
     :class:`~repro.hiddendb.backends.StorageBackend` selected by name
-    (``None`` = the process-wide default).
+    (``None`` = the process-wide default); ``backend_options`` are extra
+    engine-specific factory knobs (the sharded engine's ``shards`` /
+    ``workers``).
+
+    **Reader-concurrency contract:** all query methods (``count_prefix``,
+    ``iter_tids``, ``range_tids``, ``prefix_range``, ``__len__``) are safe
+    to call from any number of threads concurrently as long as no mutation
+    (``add`` / ``remove`` / ``bulk_*``) runs at the same time.  The shipped
+    backends' read-side caches only grow under the GIL (see
+    :mod:`repro.hiddendb.backends`); mutations must be serialized against
+    readers externally — the engine facade's round barrier does this.
     """
 
     __slots__ = ("attr_order", "backend_name", "codec", "_keys")
@@ -631,6 +643,7 @@ class PrefixIndex:
         tid_span: int = 2**48,
         block_size: int = DEFAULT_BLOCK_SIZE,
         backend: str | None = None,
+        backend_options: Mapping | None = None,
     ):
         order = tuple(attr_order)
         if sorted(order) != list(range(schema.num_attributes)):
@@ -646,6 +659,7 @@ class PrefixIndex:
             self.backend_name,
             block_size=block_size,
             key_bound=self.codec.key_bound,
+            **(backend_options or {}),
         )
 
     @property
@@ -704,8 +718,11 @@ class PrefixIndex:
         """Matching tids as an int64 vector — array-native ``iter_tids``.
 
         One vectorized modulo when the backend hands back an int64 key
-        array (packed narrow schemas); a per-key modulo over a block-sliced
-        key list otherwise (wide schemas exceed int64).  Backends without
+        array (packed narrow schemas); the chunked limb reduction
+        (:func:`~repro.hiddendb.backends.mod_many`) over a block-sliced
+        key list otherwise — wide schemas exceed int64, but their keys
+        never pay a per-key Python ``%`` (parity-tested against the
+        scalar loop).  Backends without
         :meth:`~repro.hiddendb.backends.StorageBackend.range_keys` degrade
         to ``iter_range``.
         """
@@ -715,14 +732,7 @@ class PrefixIndex:
             keys = range_keys(lo, hi)
         else:  # minimal custom engines: same contents, per-key cost
             keys = list(self._keys.iter_range(lo, hi))
-        tid_span = self.codec.tid_span
-        if isinstance(keys, np.ndarray):
-            return keys % tid_span
-        return np.fromiter(
-            (key % tid_span for key in keys),
-            dtype=np.int64,
-            count=len(keys),
-        )
+        return mod_many(keys, self.codec.tid_span)
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -755,8 +765,16 @@ class _HeapBlock:
     def _tids(self) -> list[int]:
         tids = self._tid_list
         if tids is None:
-            tids = self._tid_list = self.batch.tids.tolist()
-            self._score_list = self.batch.scores.tolist()
+            # Concurrent readers may race to build the twins; both write
+            # identical lists, so either wins.  Publish order matters:
+            # readers gate on ``_tid_list``, so ``_score_list`` must be
+            # assigned first — a reader that observes a non-None
+            # ``_tid_list`` is then guaranteed a non-None ``_score_list``
+            # (CPython's GIL orders the two stores).
+            scores = self.batch.scores.tolist()
+            tids = self.batch.tids.tolist()
+            self._score_list = scores
+            self._tid_list = tids
         return tids
 
     def locate(self, tid: int) -> int | None:
@@ -857,6 +875,18 @@ class TupleStore:
     dict — ascending tid order, enforced: a batch whose tids are not
     strictly above every existing tid is routed through the per-tuple
     path, so block tid ranges never interleave the dict or each other.
+
+    **Reader-concurrency contract:** any number of threads may read
+    concurrently (``get`` / ``gather`` / ``scan_match`` / ``tuples`` /
+    index queries) — readers never block each other and every lazy
+    read-side structure is safe to race on: the :class:`HiddenTuple` read
+    cache is an immutable-per-epoch snapshot (see :meth:`get`), heap
+    blocks publish their lazy list twins in a GIL-ordered sequence, and
+    :meth:`ensure_index` double-checks under a build lock so concurrent
+    first-queries of one attribute order build its index exactly once.
+    Mutations (insert/delete/replace/bulk) must be externally serialized
+    against both readers and other writers — the engine facade holds its
+    round barrier (``run_round`` vs ``apply_updates``) for exactly this.
     """
 
     def __init__(
@@ -864,23 +894,29 @@ class TupleStore:
         schema: Schema,
         block_size: int = DEFAULT_BLOCK_SIZE,
         backend: str | None = None,
+        backend_options: Mapping | None = None,
     ):
         self.schema = schema
         self.backend_name = resolve_backend(backend)
+        self.backend_options = dict(backend_options) if backend_options else {}
         self._block_size = block_size
         self._tuples: dict[int, HiddenTuple] = {}
         self._blocks: list[_HeapBlock] = []
         self._block_los: list[int] = []  # sorted tid_lo per block
-        # Materialization cache for block rows: repeat point reads (the
-        # estimators drill overlapping trees) skip locate+materialize.
-        # Bounded by the number of distinct block rows ever read; evicted
-        # on delete/replace of the row.
-        self._materialized: dict[int, HiddenTuple] = {}
         self._size = 0
         # Bumped on every content mutation; deferred result pages capture
         # it at query time so a late read can detect staleness.
         self._epoch = 0
+        # Materialization cache for block rows: repeat point reads (the
+        # estimators drill overlapping trees) skip locate+materialize.
+        # One immutable-identity snapshot per mutation epoch — readers
+        # validate the epoch tag instead of writers evicting entries, so
+        # the read path needs no lock (see :meth:`get`).
+        self._read_cache: tuple[int, dict[int, HiddenTuple]] = (0, {})
         self._indexes: dict[tuple[int, ...], PrefixIndex] = {}
+        # Serializes index *builds* only; reads of ``_indexes`` stay
+        # lock-free (GIL-atomic dict lookups on an insert-only dict).
+        self._index_lock = threading.Lock()
         self._listeners: list[Callable[[str, HiddenTuple], None]] = []
         self._bulk_depth = 0
         self._pending_add: list[HiddenTuple] = []
@@ -923,11 +959,27 @@ class TupleStore:
     def __contains__(self, tid: int) -> bool:
         return tid in self._tuples or self._find_block(tid) is not None
 
+    def _cache_snapshot(self) -> dict[int, HiddenTuple]:
+        """The read cache for the current epoch (fresh if the store moved).
+
+        Lock-free for readers: the ``(epoch, dict)`` pair is swapped as
+        one reference, stale snapshots are discarded wholesale instead of
+        being evicted entry by entry, and a racing swap at worst loses a
+        few cached materializations — never correctness.
+        """
+        epoch = self._epoch
+        cache_epoch, cache = self._read_cache
+        if cache_epoch != epoch:
+            cache = {}
+            self._read_cache = (epoch, cache)
+        return cache
+
     def get(self, tid: int) -> HiddenTuple:
         found = self._tuples.get(tid)
         if found is not None:
             return found
-        found = self._materialized.get(tid)
+        cache = self._cache_snapshot()
+        found = cache.get(tid)
         if found is not None:
             return found
         located = self._find_block(tid)
@@ -935,7 +987,7 @@ class TupleStore:
             raise KeyError(tid)
         block, row = located
         t = block.materialize(row)
-        self._materialized[tid] = t
+        cache[tid] = t
         return t
 
     def tuples(self) -> Iterator[HiddenTuple]:
@@ -1085,11 +1137,27 @@ class TupleStore:
         """Register a mutation listener (``event in {"insert", "delete"}``)."""
         self._listeners.append(listener)
 
+    def index_orders(self) -> tuple[tuple[int, ...], ...]:
+        """Snapshot of the registered attribute orders (safe to iterate
+        while another thread builds a new index)."""
+        return tuple(self._indexes)
+
     def ensure_index(self, attr_order: Sequence[int]) -> PrefixIndex:
-        """Get (or build, backfilling existing tuples) the index for an order."""
+        """Get (or build, backfilling existing tuples) the index for an order.
+
+        Safe under concurrent readers: the hot path is one lock-free dict
+        probe; a miss double-checks under the build lock so racing
+        first-queries of the same order build the index exactly once, and
+        the index becomes visible only after its backfill completes.
+        """
         key = tuple(attr_order)
         index = self._indexes.get(key)
-        if index is None:
+        if index is not None:
+            return index
+        with self._index_lock:
+            index = self._indexes.get(key)
+            if index is not None:
+                return index
             # A new index built mid-bulk must not re-apply the buffered
             # mutations its backfill already covers.
             self._flush_pending()
@@ -1098,6 +1166,7 @@ class TupleStore:
                 key,
                 block_size=self._block_size,
                 backend=self.backend_name,
+                backend_options=self.backend_options,
             )
             for block in self._blocks:
                 index.bulk_add_batch(block.alive_batch())
@@ -1187,7 +1256,9 @@ class TupleStore:
             if located is None:
                 raise KeyError(tid)
             block, row = located
-            t = self._materialized.pop(tid, None) or block.materialize(row)
+            # The epoch bump below retires the whole read-cache snapshot,
+            # so a still-cached materialization only saves rebuild work.
+            t = self._cache_snapshot().get(tid) or block.materialize(row)
             block.kill(row)
             if block.alive_count == 0:
                 self._drop_block(block)
@@ -1284,7 +1355,8 @@ class TupleStore:
             block.batch.scores[row] = t.score
             if block._score_list is not None:
                 block._score_list[row] = t.score
-            self._materialized.pop(t.tid, None)
+            # The epoch bump below invalidates the read-cache snapshot
+            # that may hold the pre-replace materialization.
         else:
             self._tuples[t.tid] = t
         self._epoch += 1

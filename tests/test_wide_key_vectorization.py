@@ -1,0 +1,187 @@
+"""Wide-key (>64-bit schema) vectorization parity tests.
+
+Two hot spots of wide-schema workloads (fig12's m=50 keys span ~157 bits)
+got vectorized twins in PR 5; these tests pin them to their scalar oracles:
+
+* :func:`repro.hiddendb.backends.mod_many` — the chunked int64-limb modulo
+  behind ``PrefixIndex.range_tids`` (and sharded partitioning) must equal
+  the per-key ``%`` loop for any modulus class (power of two, small,
+  48-bit Horner, and the big-modulus scalar fallback).
+* The packed engine's wide-run rank probe (top-63-bit ``searchsorted``
+  window + exact bisect) must equal a plain ``bisect_left`` over the live
+  key list.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Attribute, Schema
+from repro.hiddendb import PackedArrayBackend, mod_many, shift_many
+from repro.hiddendb.store import PrefixIndex
+from repro.hiddendb.tuples import make_tuple
+
+
+# ----------------------------------------------------------------------
+# mod_many: the chunked limb reduction vs the per-key loop
+# ----------------------------------------------------------------------
+MODULI = (
+    1,
+    2,
+    7,
+    2**16,
+    2**31 - 1,        # largest "small" modulus (direct product path)
+    2**31 + 11,       # forces the 16-bit-digit Horner multiply
+    2**48,            # the default tid_span (power-of-two mask path)
+    2**48 - 59,       # largest Horner-capable modulus class
+    2**50 + 1,        # beyond the Horner bound: scalar fallback
+    12345678901234,
+)
+
+
+@pytest.mark.parametrize("modulus", MODULI)
+def test_mod_many_matches_scalar_loop(modulus):
+    rng = random.Random(modulus % 997)
+    keys = [rng.randrange(2**200) for _ in range(500)]
+    keys += [0, 1, modulus, modulus - 1 if modulus > 1 else 0, 2**63, 2**64]
+    assert mod_many(keys, modulus).tolist() == [k % modulus for k in keys]
+
+
+def test_mod_many_int64_arrays_and_empty_input():
+    arr = np.array([0, 5, 17, 2**40], dtype=np.int64)
+    assert mod_many(arr, 7).tolist() == [0, 5, 3, (2**40) % 7]
+    assert mod_many([], 97).tolist() == []
+    with pytest.raises(ValueError):
+        mod_many([1], 0)
+
+
+def test_mod_many_modulus_bound():
+    # Remainders are int64, so moduli past 2**63 are rejected up front
+    # instead of overflowing the output vector.
+    with pytest.raises(ValueError):
+        mod_many([5], 2**63 + 1)
+    with pytest.raises(ValueError):
+        mod_many([2**100], 2**70)
+    # 2**63 itself is a power of two whose remainders still fit.
+    keys = [2**64 + 3, 7, 2**63 - 1]
+    assert mod_many(keys, 2**63).tolist() == [k % 2**63 for k in keys]
+    arr = np.array([-1, 5, 2**62], dtype=np.int64)
+    assert mod_many(arr, 2**63).tolist() == [
+        int(v) % 2**63 for v in arr
+    ]
+
+
+def test_mod_many_rejects_negative_keys_on_the_limb_path():
+    # Regression: a negative key used to hang the limb decomposition
+    # (arithmetic shift converges to -1, never 0).
+    with pytest.raises(ValueError):
+        mod_many([-1, 5], 7)
+    # The power-of-two mask path matches % for negatives, like int64.
+    assert mod_many([-1, 5], 8).tolist() == [-1 % 8, 5 % 8]
+    assert mod_many(np.array([-1, 5], dtype=np.int64), 7).tolist() == [
+        -1 % 7, 5 % 7,
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**250), max_size=50),
+    st.integers(min_value=1, max_value=2**52),
+)
+def test_mod_many_property_parity(keys, modulus):
+    assert mod_many(keys, modulus).tolist() == [k % modulus for k in keys]
+
+
+def test_mod_many_chunking_boundary():
+    """Inputs longer than one chunk stay exact across the seams."""
+    modulus = 2**31 + 11
+    keys = [(i * 2**97 + i) for i in range(10000)]
+    assert mod_many(keys, modulus).tolist() == [k % modulus for k in keys]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**200), max_size=40),
+    st.integers(min_value=0, max_value=140),
+)
+def test_shift_many_matches_scalar(keys, shift):
+    # Keep results in int64 range, as the probe-array contract requires.
+    shift = max(shift, max(keys, default=0).bit_length() - 62)
+    shift = max(shift, 0)
+    assert shift_many(keys, shift).tolist() == [k >> shift for k in keys]
+
+
+# ----------------------------------------------------------------------
+# Wide-run rank probe vs the plain bisect oracle
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=2**100)),
+        min_size=1,
+        max_size=200,
+    ),
+    st.lists(st.integers(min_value=0, max_value=2**100), max_size=20),
+)
+def test_wide_rank_probe_matches_bisect(operations, probes):
+    engine = PackedArrayBackend(key_bound=2**100, min_buffer=8)
+    reference: list[int] = []
+    for is_remove, value in operations:
+        if is_remove and value in reference:
+            reference.remove(value)
+            engine.remove(value)
+        else:
+            reference.append(value)
+            engine.add(value)
+    reference.sort()
+    engine.check_invariants()
+    for probe in probes + reference[:10]:
+        assert engine.rank(probe) == bisect_left(reference, probe)
+
+
+def test_wide_rank_probe_array_built_after_compaction():
+    keys = PackedArrayBackend(
+        range(0, 10000, 3), key_bound=2**100, min_buffer=8
+    )
+    # Construction sorts into the run directly, so the probe array exists.
+    assert keys._run_hi is not None
+    assert keys.rank(9000) == len(range(0, 9000, 3))
+    # Out-of-universe probes bypass the probe window but stay exact.
+    assert keys.rank(2**101) == len(keys)
+    assert keys.rank(-5) == 0
+
+
+def test_small_wide_runs_skip_the_probe_array():
+    keys = PackedArrayBackend([2**70, 2**71], key_bound=2**80)
+    assert keys._run_hi is None  # below the build threshold
+    assert keys.rank(2**70 + 1) == 1
+
+
+# ----------------------------------------------------------------------
+# range_tids on a wide schema: vectorized twin of iter_tids
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["blocked", "packed", "sharded"])
+def test_range_tids_parity_on_wide_schema(backend):
+    schema = Schema([Attribute(f"A{i}", 2 + i % 5) for i in range(40)])
+    index = PrefixIndex(
+        schema,
+        tuple(range(40)),
+        backend=backend,
+        backend_options={"shards": 3} if backend == "sharded" else None,
+    )
+    assert not index.codec.fits_int64  # the wide path is what we test
+    rng = random.Random(3)
+    for tid in range(600):
+        values = bytes(rng.randrange(schema.attributes[a].size)
+                       for a in range(40))
+        index.add(make_tuple(tid, values, (), 0.5))
+    for prefix in ([], [0], [1], [0, 1], [1, 2, 3]):
+        vectorized = index.range_tids(prefix)
+        assert vectorized.dtype == np.int64
+        assert vectorized.tolist() == list(index.iter_tids(prefix))
