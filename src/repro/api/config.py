@@ -265,20 +265,24 @@ class EngineConfig:
         return dataclasses.replace(self, **changes)
 
     def to_dict(self) -> dict:
-        """A strict-JSON-safe payload; :meth:`from_dict` round-trips it."""
-        return dataclasses.asdict(self)
+        """A strict-JSON-safe payload (with ``schema_version``);
+        :meth:`from_dict` round-trips it."""
+        from ..core.wire import stamp
+
+        return stamp(dataclasses.asdict(self))
 
     @classmethod
     def from_dict(cls, payload: dict) -> "EngineConfig":
         """Rebuild a config from :meth:`to_dict` output.
 
-        Unknown keys raise — a config that crossed a wire with fields this
-        version does not understand must not be silently narrowed.
+        Forward tolerant (the wire versioning policy of
+        :mod:`repro.core.wire`): unknown keys — fields added by a newer
+        producer, plus ``schema_version`` itself — are ignored, and a
+        payload without a version is read as the pre-versioning v0 form.
+        Known fields still validate through ``__post_init__``, so
+        tolerance never admits an invalid config.
         """
         known = {field.name for field in dataclasses.fields(cls)}
-        unknown = set(payload) - known
-        if unknown:
-            raise ExperimentError(
-                f"unknown EngineConfig fields: {', '.join(sorted(unknown))}"
-            )
-        return cls(**payload)
+        return cls(**{
+            key: value for key, value in payload.items() if key in known
+        })

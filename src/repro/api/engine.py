@@ -40,7 +40,7 @@ from typing import Callable, Iterator, Mapping, Sequence
 from ..core.aggregates import AnySpec
 from ..core.estimators.base import RoundReport
 from ..core.estimators.registry import EstimatorFactory, resolve_estimator
-from ..errors import ExperimentError
+from ..errors import DuplicateTaskError, ExperimentError, UnknownTaskError
 from ..hiddendb.database import HiddenDatabase
 from ..hiddendb.interface import TopKInterface
 from ..hiddendb.ranking import RankingPolicy
@@ -132,12 +132,14 @@ class EstimationTask:
         """A JSON-safe description (estimators/specs appear by name only —
         rebuilding a task needs the spec objects, not this payload; option
         values JSON cannot express, e.g. callables, appear as reprs)."""
+        from ..core.wire import stamp
+
         estimator = self.estimator
         if not isinstance(estimator, str):
             estimator = getattr(
                 estimator, "name", getattr(estimator, "__name__", repr(estimator))
             )
-        return {
+        return stamp({
             "name": self.name,
             "estimator": estimator,
             "specs": [spec.name for spec in self.specs],
@@ -148,7 +150,7 @@ class EstimationTask:
                 str(key): _describable(value)
                 for key, value in self.options.items()
             },
-        }
+        })
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"EstimationTask({self.name!r}, estimator={self.estimator!r})"
@@ -189,6 +191,29 @@ class TaskHandle:
     def interface(self) -> TopKInterface:
         """This tenant's private connection to the shared database."""
         return self.estimator.interface
+
+    @contextmanager
+    def throttled(self, budget: int):
+        """Scope a reduced per-round query budget on this task's estimator.
+
+        The budget-governor hook (:mod:`repro.service.governor`): a
+        degraded round runs exactly as if the tenant had been granted the
+        smaller budget — same estimator, same RNG stream position — and
+        the previous budget is restored afterwards.  ``budget_per_round``
+        on the handle (and therefore the ledger) keeps reporting the
+        tenant's *nominal* allowance; degradation is reported through the
+        governor's telemetry, never silently.  Callers must serialize this
+        scope with the round that runs under it (the service plane runs
+        all mutating operations on one worker thread).
+        """
+        if budget < 1:
+            raise ExperimentError("throttled budget must be positive")
+        previous = self.estimator.budget_per_round
+        self.estimator.budget_per_round = budget
+        try:
+            yield self
+        finally:
+            self.estimator.budget_per_round = previous
 
     def _record(self, report: RoundReport) -> None:
         self._reports.append(report)
@@ -328,7 +353,7 @@ class Engine:
             try:
                 return self._tasks[name]
             except KeyError:
-                raise ExperimentError(f"no task named {name!r}") from None
+                raise UnknownTaskError(name) from None
 
     def __contains__(self, name: str) -> bool:
         with self._lock:
@@ -370,9 +395,7 @@ class Engine:
         """
         with self._scoped(), self._lock:
             if task.name in self._tasks:
-                raise ExperimentError(
-                    f"task {task.name!r} already submitted"
-                )
+                raise DuplicateTaskError(task.name)
             factory = resolve_estimator(task.estimator)
             budget = task.budget_for(self.config)
             interface = TopKInterface(self.db, self.config.k)
@@ -396,7 +419,7 @@ class Engine:
             try:
                 return self._tasks.pop(name)
             except KeyError:
-                raise ExperimentError(f"no task named {name!r}") from None
+                raise UnknownTaskError(name) from None
 
     # ------------------------------------------------------------------
     # Execution

@@ -92,10 +92,11 @@ class RoundReport:
     def to_dict(self) -> dict:
         """A strict-JSON-safe payload (``json.dumps(..., allow_nan=False)``
         works); non-finite estimates/variances are wire-encoded as strings
-        (see :mod:`repro.core.wire`)."""
-        from ..wire import encode_float_map
+        and the payload carries ``schema_version`` (see
+        :mod:`repro.core.wire`)."""
+        from ..wire import encode_float_map, stamp
 
-        return {
+        return stamp({
             "round_index": self.round_index,
             "estimates": encode_float_map(self.estimates),
             "variances": encode_float_map(self.variances),
@@ -104,11 +105,16 @@ class RoundReport:
             "drilldowns_new": self.drilldowns_new,
             "leaf_overflows": self.leaf_overflows,
             "active_drilldowns": self.active_drilldowns,
-        }
+        })
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "RoundReport":
-        """Rebuild a report from :meth:`to_dict` output (exact round trip)."""
+        """Rebuild a report from :meth:`to_dict` output (exact round trip).
+
+        Forward tolerant: unknown keys are ignored and a missing
+        ``schema_version`` means the pre-versioning v0 form — both decode
+        to the fields this build knows about.
+        """
         from ..wire import decode_float_map
 
         return cls(

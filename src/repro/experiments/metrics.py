@@ -86,13 +86,14 @@ class ExperimentResult:
     def to_dict(self) -> dict:
         """A strict-JSON-safe payload of everything recorded so far.
 
-        Non-finite floats are wire-encoded (see :mod:`repro.core.wire`)
-        so ``json.dumps(result.to_dict(), allow_nan=False)`` works and
+        Non-finite floats are wire-encoded and the payload carries
+        ``schema_version`` (see :mod:`repro.core.wire`) so
+        ``json.dumps(result.to_dict(), allow_nan=False)`` works and
         :meth:`from_dict` restores the result exactly.
         """
-        from ..core.wire import encode_float_map
+        from ..core.wire import encode_float_map, stamp
 
-        return {
+        return stamp({
             "name": self.name,
             "estimator_names": list(self.estimator_names),
             "spec_names": list(self.spec_names),
@@ -116,11 +117,15 @@ class ExperimentResult:
                 estimator: [list(trial) for trial in trials]
                 for estimator, trials in self.drilldowns.items()
             },
-        }
+        })
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ExperimentResult":
-        """Rebuild a result from :meth:`to_dict` output (exact round trip)."""
+        """Rebuild a result from :meth:`to_dict` output (exact round trip).
+
+        Forward tolerant: unknown keys are ignored, and a payload without
+        ``schema_version`` is read as the pre-versioning v0 form.
+        """
         from ..core.wire import decode_float_map
 
         result = cls(

@@ -1,0 +1,79 @@
+"""Service plane: the estimation engine over an HTTP/JSON wire API.
+
+Layers (each importable on its own):
+
+* :mod:`repro.service.protocol` — typed request/response forms shared by
+  the in-process facade and the HTTP transport (versioned wire schema).
+* :mod:`repro.service.governor` — per-tenant budget governor: windowed
+  ceilings with the shrink_k → widen_rounds → refuse degradation ladder.
+* :mod:`repro.service.app` — :class:`ServiceApp`, the whole service
+  minus the transport.
+* :mod:`repro.service.http` — minimal asyncio HTTP/1.1 + SSE server.
+* :mod:`repro.service.client` — blocking stdlib client with typed-error
+  rehydration.
+* :mod:`repro.service.cli` — the ``repro-serve`` entry point.
+"""
+
+from .app import ServiceApp
+from .client import ServiceClient
+from .governor import (
+    ACTION_ALLOW,
+    ACTION_REFUSE,
+    ACTION_SHRINK,
+    ACTION_WIDEN,
+    Admission,
+    BudgetGovernor,
+    GovernorConfig,
+    TenantUsage,
+)
+from .http import ServiceServer
+from .protocol import (
+    STATUS_DEFERRED,
+    STATUS_DEGRADED,
+    STATUS_OK,
+    STATUS_REFUSED,
+    HealthResponse,
+    LedgerResponse,
+    ReportsResponse,
+    RoundOutcome,
+    RoundRequest,
+    RoundResult,
+    RoundsResponse,
+    TaskAccepted,
+    TaskRequest,
+    TelemetryResponse,
+    error_response,
+    spec_from_wire,
+    specs_from_wire,
+)
+
+__all__ = [
+    "ACTION_ALLOW",
+    "ACTION_REFUSE",
+    "ACTION_SHRINK",
+    "ACTION_WIDEN",
+    "Admission",
+    "BudgetGovernor",
+    "GovernorConfig",
+    "HealthResponse",
+    "LedgerResponse",
+    "ReportsResponse",
+    "RoundOutcome",
+    "RoundRequest",
+    "RoundResult",
+    "RoundsResponse",
+    "STATUS_DEFERRED",
+    "STATUS_DEGRADED",
+    "STATUS_OK",
+    "STATUS_REFUSED",
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceServer",
+    "TaskAccepted",
+    "TaskRequest",
+    "TelemetryResponse",
+    "TenantUsage",
+    "error_response",
+    "spec_from_wire",
+    "specs_from_wire",
+]

@@ -1,0 +1,140 @@
+"""Blocking HTTP client for the service plane (stdlib ``http.client``).
+
+:class:`ServiceClient` speaks the versioned wire API of
+:mod:`repro.service.http` and rehydrates typed errors: a non-2xx response
+whose body carries the wire error envelope is raised as the original
+exception class via :func:`repro.errors.error_from_wire` — so
+``except QueryBudgetExhausted`` works identically against the in-process
+facade and over HTTP.
+
+The client is deliberately thin (tests, benchmarks, smoke jobs): one
+connection per request, blocking SSE iteration via :meth:`stream`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Iterator, Mapping
+
+from ..errors import ReproError, error_from_wire
+
+
+class ServiceClient:
+    """A synchronous client for one ``repro-serve`` endpoint."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str, payload: Mapping | None = None):
+        """One request/response cycle; raises the rehydrated typed error
+        on a non-2xx status carrying a wire error envelope."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+        finally:
+            connection.close()
+        decoded = json.loads(data.decode("utf-8")) if data else {}
+        if response.status >= 400:
+            error = decoded.get("error") if isinstance(decoded, dict) else None
+            if error:
+                raise error_from_wire(error)
+            raise ReproError(
+                f"{method} {path} failed with HTTP {response.status}"
+            )
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self.request("GET", "/v1/healthz")
+
+    def ledger(self) -> dict:
+        return self.request("GET", "/v1/ledger")
+
+    def telemetry(self) -> dict:
+        return self.request("GET", "/v1/telemetry")
+
+    def reports(self, task: str) -> dict:
+        return self.request("GET", f"/v1/tasks/{task}/reports")
+
+    def submit(self, **task_request) -> dict:
+        """``POST /v1/tasks`` — keyword form of ``TaskRequest``."""
+        return self.request("POST", "/v1/tasks", task_request)
+
+    def run_rounds(self, **round_request) -> dict:
+        """``POST /v1/rounds`` — keyword form of ``RoundRequest``."""
+        return self.request("POST", "/v1/rounds", round_request)
+
+    def shutdown(self) -> dict:
+        return self.request("POST", "/v1/shutdown")
+
+    # ------------------------------------------------------------------
+    # SSE
+    # ------------------------------------------------------------------
+    def stream(
+        self,
+        task: str | None = None,
+        replay: bool = True,
+        timeout: float | None = None,
+    ) -> Iterator[dict]:
+        """Iterate report events from ``GET /v1/stream``.
+
+        Yields the decoded ``data:`` payloads (``{"seq", "task",
+        "round_index", "report", ...}``); heartbeat comments are skipped.
+        The iterator ends when the connection closes or (if ``timeout``)
+        the socket read times out.  Close the generator to drop the
+        connection early.
+        """
+        query = []
+        if task is not None:
+            query.append(f"task={task}")
+        if not replay:
+            query.append("replay=0")
+        path = "/v1/stream" + ("?" + "&".join(query) if query else "")
+        connection = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout,
+        )
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            if response.status != 200:
+                raise ReproError(
+                    f"stream failed with HTTP {response.status}"
+                )
+            data_lines: list[str] = []
+            while True:
+                try:
+                    raw = response.fp.readline()
+                except (TimeoutError, OSError):
+                    return
+                if not raw:
+                    return
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if not line:
+                    if data_lines:
+                        yield json.loads("\n".join(data_lines))
+                        data_lines = []
+                    continue
+                if line.startswith(":"):
+                    continue  # heartbeat comment
+                if line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+        finally:
+            connection.close()

@@ -1,0 +1,316 @@
+"""Per-tenant budget governor: admission control with graceful degradation.
+
+The paper's estimators are clients of a *rate-limited* hidden database;
+run as a service, the reproduction must itself be one.  The governor
+layers query-budget **policy** on top of the engine's per-task accounting
+(``Engine.budget_ledger()``): per-tenant and service-wide ceilings over a
+rolling window of rounds, and a documented degradation ladder that is
+always observable (telemetry + per-round outcome records), never silent.
+
+The design follows the ``LLMBudgetConfig`` / ``UsageSnapshot`` pattern of
+the budget-policy reference in SNIPPETS.md: a frozen policy config with
+fractional fallback steps, and mutable usage snapshots per tenant.
+
+**Degradation ladder** (strictly in this order as a tenant's window
+allowance depletes):
+
+1. ``allow`` — remaining allowance covers the full per-round budget.
+2. ``shrink_k`` — the tenant's per-round query allowance (the number of
+   top-k drill-down queries it may spend) is scaled down by the largest
+   fitting step of :attr:`GovernorConfig.shrink_steps`.
+3. ``widen_rounds`` — no step fits: the tenant's cadence stretches; the
+   round is deferred (up to :attr:`GovernorConfig.max_deferrals`
+   consecutive times) so the remaining allowance spreads over wider
+   round spacing.
+4. **refuse** — deferrals exhausted: :class:`~repro.errors.AdmissionError`
+   (wire code ``ADMISSION_REJECTED``, HTTP 429) with
+   ``retry_after_rounds`` pointing at the next window.
+
+Windows are aligned to the engine's round clock: round ``r`` belongs to
+window ``r // window_rounds``, and every counter resets when the window
+rolls over.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Mapping
+
+from ..core.wire import stamp
+from ..errors import AdmissionError, ExperimentError
+
+#: Ladder action names, in degradation order.
+ACTION_ALLOW = "allow"
+ACTION_SHRINK = "shrink_k"
+ACTION_WIDEN = "widen_rounds"
+ACTION_REFUSE = "refuse"
+
+
+@dataclasses.dataclass(frozen=True)
+class GovernorConfig:
+    """Budget policy for the service plane (all knobs in one object).
+
+    Parameters
+    ----------
+    queries_per_window:
+        Per-tenant query ceiling within one window (``None`` = unlimited;
+        the governor then only keeps telemetry).
+    window_rounds:
+        Window length in engine rounds; counters reset at every multiple.
+    shrink_steps:
+        Fractions of the nominal per-round budget tried (largest first)
+        when the full budget no longer fits the remaining allowance.
+    max_deferrals:
+        Consecutive ``widen_rounds`` deferrals granted before refusing.
+    total_queries_per_window:
+        Service-wide ceiling across all tenants per window (``None`` =
+        unlimited).
+    max_tenants:
+        Admission control at submit time: the maximum number of concurrent
+        tenants the service accepts (``None`` = unlimited).
+    """
+
+    queries_per_window: int | None = None
+    window_rounds: int = 16
+    shrink_steps: tuple[float, ...] = (0.85, 0.7, 0.55, 0.4)
+    max_deferrals: int = 2
+    total_queries_per_window: int | None = None
+    max_tenants: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.queries_per_window is not None and self.queries_per_window < 1:
+            raise ExperimentError("queries_per_window must be positive")
+        if self.window_rounds < 1:
+            raise ExperimentError("window_rounds must be positive")
+        if not self.shrink_steps:
+            raise ExperimentError("shrink_steps must be non-empty")
+        if any(not 0.0 < step < 1.0 for step in self.shrink_steps):
+            raise ExperimentError("shrink_steps must be fractions in (0, 1)")
+        object.__setattr__(
+            self,
+            "shrink_steps",
+            tuple(sorted((float(s) for s in self.shrink_steps), reverse=True)),
+        )
+        if self.max_deferrals < 0:
+            raise ExperimentError("max_deferrals must be non-negative")
+        if (
+            self.total_queries_per_window is not None
+            and self.total_queries_per_window < 1
+        ):
+            raise ExperimentError("total_queries_per_window must be positive")
+        if self.max_tenants is not None and self.max_tenants < 1:
+            raise ExperimentError("max_tenants must be positive")
+
+    def to_wire(self) -> dict:
+        return stamp(dataclasses.asdict(self))
+
+    @classmethod
+    def from_wire(cls, payload: Mapping) -> "GovernorConfig":
+        known = {field.name for field in dataclasses.fields(cls)}
+        cleaned = {
+            key: value for key, value in payload.items() if key in known
+        }
+        if "shrink_steps" in cleaned and cleaned["shrink_steps"] is not None:
+            cleaned["shrink_steps"] = tuple(cleaned["shrink_steps"])
+        return cls(**cleaned)
+
+
+@dataclasses.dataclass
+class TenantUsage:
+    """Mutable usage snapshot of one tenant (one per governor entry)."""
+
+    window_index: int = -1
+    window_queries: int = 0
+    queries_total: int = 0
+    rounds_run: int = 0
+    degraded_rounds: int = 0
+    deferred_rounds: int = 0
+    refused_rounds: int = 0
+    consecutive_deferrals: int = 0
+    last_action: str = "none"
+
+    def snapshot(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class Admission:
+    """One admit decision (refusals raise instead — the typed 429)."""
+
+    action: str
+    granted: int
+    requested: int
+    remaining: int | None
+    factor: float | None = None
+
+    @property
+    def runs(self) -> bool:
+        """Whether the tenant's round executes at all."""
+        return self.granted > 0
+
+    def record(self) -> dict | None:
+        """The wire-visible governor record of a non-trivial decision."""
+        if self.action == ACTION_ALLOW:
+            return None
+        return {
+            "action": self.action,
+            "granted": self.granted,
+            "requested": self.requested,
+            "factor": self.factor,
+            "remaining": self.remaining,
+        }
+
+
+class BudgetGovernor:
+    """Thread-safe admission control + usage telemetry over tenants.
+
+    The protocol is two-phase per tenant per round: :meth:`admit` decides
+    (and records the decision), the caller runs the round with the granted
+    budget, then :meth:`commit` books the queries actually spent.  Both
+    sides take one short lock, so hundreds of concurrent tenants account
+    exactly (see ``tests/test_governor.py``).
+    """
+
+    def __init__(self, config: GovernorConfig | None = None):
+        self.config = config if config is not None else GovernorConfig()
+        self._lock = threading.Lock()
+        self._tenants: dict[str, TenantUsage] = {}
+        self._window_index = -1
+        self._window_queries = 0
+        self._queries_total = 0
+
+    # ------------------------------------------------------------------
+    # Windows
+    # ------------------------------------------------------------------
+    def window_of(self, round_index: int) -> int:
+        return round_index // self.config.window_rounds
+
+    def _roll(self, usage: TenantUsage, round_index: int) -> None:
+        window = self.window_of(round_index)
+        if window != self._window_index:
+            self._window_index = window
+            self._window_queries = 0
+        if window != usage.window_index:
+            usage.window_index = window
+            usage.window_queries = 0
+            usage.consecutive_deferrals = 0
+
+    def _usage(self, tenant: str) -> TenantUsage:
+        usage = self._tenants.get(tenant)
+        if usage is None:
+            usage = self._tenants[tenant] = TenantUsage()
+        return usage
+
+    # ------------------------------------------------------------------
+    # Submission-time admission
+    # ------------------------------------------------------------------
+    def admit_tenant(self, tenant: str, active_tenants: int) -> None:
+        """Admission control for ``POST /v1/tasks`` (``max_tenants``)."""
+        limit = self.config.max_tenants
+        if limit is not None and active_tenants >= limit:
+            raise AdmissionError(
+                f"tenant capacity {limit} reached",
+                tenant=tenant,
+                remaining=0,
+            )
+
+    # ------------------------------------------------------------------
+    # Round-time admission (the degradation ladder)
+    # ------------------------------------------------------------------
+    def admit(
+        self, tenant: str, requested: int, round_index: int
+    ) -> Admission:
+        """Decide this tenant's round under the current window allowance.
+
+        Returns an :class:`Admission` for ``allow`` / ``shrink_k`` /
+        ``widen_rounds``; raises :class:`~repro.errors.AdmissionError`
+        when the ladder is exhausted.
+        """
+        if requested < 1:
+            raise ExperimentError("requested budget must be positive")
+        with self._lock:
+            usage = self._usage(tenant)
+            self._roll(usage, round_index)
+            remaining = self._remaining(usage)
+            if remaining is None or remaining >= requested:
+                usage.consecutive_deferrals = 0
+                usage.last_action = ACTION_ALLOW
+                return Admission(
+                    ACTION_ALLOW, requested, requested, remaining
+                )
+            for factor in self.config.shrink_steps:
+                granted = max(1, int(requested * factor))
+                if granted <= remaining and granted < requested:
+                    usage.consecutive_deferrals = 0
+                    usage.degraded_rounds += 1
+                    usage.last_action = ACTION_SHRINK
+                    return Admission(
+                        ACTION_SHRINK, granted, requested, remaining, factor
+                    )
+            if usage.consecutive_deferrals < self.config.max_deferrals:
+                usage.consecutive_deferrals += 1
+                usage.deferred_rounds += 1
+                usage.last_action = ACTION_WIDEN
+                return Admission(ACTION_WIDEN, 0, requested, remaining)
+            usage.refused_rounds += 1
+            usage.last_action = ACTION_REFUSE
+            next_window_round = (
+                (self.window_of(round_index) + 1) * self.config.window_rounds
+            )
+            raise AdmissionError(
+                f"tenant {tenant!r} exhausted its window budget "
+                f"({remaining} of its allowance left, nominal round "
+                f"budget {requested})",
+                tenant=tenant,
+                retry_after_rounds=next_window_round - round_index,
+                remaining=remaining,
+            )
+
+    def _remaining(self, usage: TenantUsage) -> int | None:
+        """Window allowance still grantable (``None`` = unlimited)."""
+        remaining = None
+        if self.config.queries_per_window is not None:
+            remaining = max(
+                0, self.config.queries_per_window - usage.window_queries
+            )
+        if self.config.total_queries_per_window is not None:
+            service_remaining = max(
+                0,
+                self.config.total_queries_per_window - self._window_queries,
+            )
+            remaining = (
+                service_remaining if remaining is None
+                else min(remaining, service_remaining)
+            )
+        return remaining
+
+    def commit(self, tenant: str, used: int, round_index: int) -> None:
+        """Book the queries a tenant's round actually spent."""
+        if used < 0:
+            raise ExperimentError("used queries must be non-negative")
+        with self._lock:
+            usage = self._usage(tenant)
+            self._roll(usage, round_index)
+            usage.window_queries += used
+            usage.queries_total += used
+            usage.rounds_run += 1
+            self._window_queries += used
+            self._queries_total += used
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Stamped usage telemetry: per-tenant snapshots + service totals."""
+        with self._lock:
+            return stamp({
+                "policy": dataclasses.asdict(self.config),
+                "window_index": self._window_index,
+                "window_queries": self._window_queries,
+                "queries_total": self._queries_total,
+                "tenants": {
+                    name: usage.snapshot()
+                    for name, usage in self._tenants.items()
+                },
+            })

@@ -479,9 +479,16 @@ class TestConfig:
         payload = json.loads(json.dumps(config.to_dict(), allow_nan=False))
         assert EngineConfig.from_dict(payload) == config
 
-    def test_from_dict_rejects_unknown_fields(self):
+    def test_from_dict_is_forward_tolerant(self):
+        # Wire versioning policy: unknown keys (fields from a newer
+        # producer) are ignored, a missing schema_version reads as v0,
+        # and known fields still validate.
+        config = EngineConfig.from_dict(
+            {"k": 3, "warp_factor": 9, "schema_version": 99}
+        )
+        assert config.k == 3
         with pytest.raises(ExperimentError):
-            EngineConfig.from_dict({"k": 3, "warp_factor": 9})
+            EngineConfig.from_dict({"k": 0, "warp_factor": 9})
 
     def test_replace_revalidates(self):
         config = EngineConfig(k=7)

@@ -1,0 +1,269 @@
+"""Budget governor: ceilings, the degradation ladder, windows, accounting.
+
+The ladder contract (see :mod:`repro.service.governor`): as a tenant's
+window allowance depletes, admissions degrade strictly in the order
+``allow`` → ``shrink_k`` → ``widen_rounds`` → refuse — and every
+non-trivial decision is observable in the admission record and the
+telemetry snapshot, never silent.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import AdmissionError, ExperimentError
+from repro.service.governor import (
+    ACTION_ALLOW,
+    ACTION_SHRINK,
+    ACTION_WIDEN,
+    Admission,
+    BudgetGovernor,
+    GovernorConfig,
+)
+
+
+def _governor(**overrides) -> BudgetGovernor:
+    defaults = dict(queries_per_window=100, window_rounds=10)
+    defaults.update(overrides)
+    return BudgetGovernor(GovernorConfig(**defaults))
+
+
+class TestConfig:
+    def test_shrink_steps_sorted_descending(self):
+        config = GovernorConfig(shrink_steps=(0.4, 0.9, 0.6))
+        assert config.shrink_steps == (0.9, 0.6, 0.4)
+
+    @pytest.mark.parametrize("bad", [
+        dict(queries_per_window=0),
+        dict(window_rounds=0),
+        dict(shrink_steps=()),
+        dict(shrink_steps=(1.5,)),
+        dict(shrink_steps=(0.0,)),
+        dict(max_deferrals=-1),
+        dict(total_queries_per_window=0),
+        dict(max_tenants=0),
+    ])
+    def test_invalid_knobs_raise(self, bad):
+        with pytest.raises(ExperimentError):
+            GovernorConfig(**bad)
+
+    def test_wire_round_trip(self):
+        config = GovernorConfig(queries_per_window=50, max_tenants=3)
+        payload = config.to_wire()
+        assert payload["schema_version"] == 1
+        assert GovernorConfig.from_wire(payload) == config
+
+
+class TestCeilingEnforcement:
+    def test_unlimited_policy_always_allows(self):
+        governor = BudgetGovernor()  # all ceilings None
+        for round_index in range(50):
+            admission = governor.admit("t", 1000, round_index)
+            assert admission.action == ACTION_ALLOW
+            governor.commit("t", 1000, round_index)
+
+    def test_window_ceiling_is_never_exceeded(self):
+        governor = _governor(queries_per_window=100)
+        spent = 0
+        for round_index in range(10):
+            try:
+                admission = governor.admit("t", 40, round_index)
+            except AdmissionError:
+                continue
+            if admission.runs:
+                governor.commit("t", admission.granted, round_index)
+                spent += admission.granted
+        assert spent <= 100
+
+    def test_service_wide_ceiling_spans_tenants(self):
+        governor = _governor(
+            queries_per_window=None, total_queries_per_window=60,
+        )
+        first = governor.admit("a", 40, 0)
+        assert first.action == ACTION_ALLOW
+        governor.commit("a", 40, 0)
+        # 20 of the service window left: tenant b's 40 must shrink.
+        second = governor.admit("b", 40, 0)
+        assert second.action == ACTION_SHRINK
+        assert second.granted <= 20
+
+    def test_tighter_of_both_ceilings_wins(self):
+        governor = _governor(
+            queries_per_window=100, total_queries_per_window=30,
+        )
+        admission = governor.admit("a", 50, 0)
+        assert admission.action == ACTION_SHRINK
+        assert admission.granted <= 30
+
+    def test_max_tenants_at_submit(self):
+        governor = _governor(max_tenants=2)
+        governor.admit_tenant("a", 0)
+        governor.admit_tenant("b", 1)
+        with pytest.raises(AdmissionError) as excinfo:
+            governor.admit_tenant("c", 2)
+        assert excinfo.value.tenant == "c"
+
+
+class TestDegradationLadder:
+    """shrink_k strictly before widen_rounds strictly before refuse."""
+
+    def test_full_ladder_in_order(self):
+        governor = _governor(
+            queries_per_window=100, window_rounds=100, max_deferrals=2,
+        )
+        actions = []
+        for round_index in range(8):
+            try:
+                admission = governor.admit("t", 40, round_index)
+            except AdmissionError:
+                actions.append("refuse")
+                continue
+            actions.append(admission.action)
+            if admission.runs:
+                governor.commit("t", admission.granted, round_index)
+        # 100 allowance, 40/round: allow(40) → allow(40) [80 spent] →
+        # shrink to ≤20 → nothing fits → defer ×2 → refuse.
+        assert actions[0] == ACTION_ALLOW
+        assert actions[1] == ACTION_ALLOW
+        assert actions[2] == ACTION_SHRINK
+        first_widen = actions.index(ACTION_WIDEN)
+        first_refuse = actions.index("refuse")
+        assert actions.index(ACTION_SHRINK) < first_widen < first_refuse
+        assert actions[first_widen:first_refuse] == [ACTION_WIDEN] * 2
+
+    def test_shrink_uses_largest_fitting_step(self):
+        governor = _governor(
+            queries_per_window=100, shrink_steps=(0.9, 0.5, 0.25),
+        )
+        governor.commit("t", 60, 0)  # 40 left of 100
+        admission = governor.admit("t", 50, 0)
+        assert admission.action == ACTION_SHRINK
+        # 0.9*50=45 > 40; 0.5*50=25 fits — and is chosen over 0.25.
+        assert admission.factor == 0.5
+        assert admission.granted == 25
+
+    def test_shrink_never_grants_more_than_remaining(self):
+        governor = _governor(queries_per_window=100)
+        governor.commit("t", 70, 0)
+        admission = governor.admit("t", 40, 0)
+        assert admission.action == ACTION_SHRINK
+        assert admission.granted <= 30
+
+    def test_deferral_counter_resets_on_success(self):
+        governor = _governor(
+            queries_per_window=100, window_rounds=100, max_deferrals=1,
+        )
+        governor.commit("t", 99, 0)  # 1 left: nothing shrinks to fit 40
+        assert governor.admit("t", 40, 1).action == ACTION_WIDEN
+        # A full allow resets consecutive deferrals…
+        governor2 = _governor(queries_per_window=100, max_deferrals=1)
+        assert governor2.admit("t", 40, 0).action == ACTION_ALLOW
+        # …so the tenant gets its deferral allowance back later.
+
+    def test_refusal_carries_retry_after(self):
+        governor = _governor(
+            queries_per_window=10, window_rounds=10, max_deferrals=0,
+        )
+        governor.commit("t", 10, 3)
+        with pytest.raises(AdmissionError) as excinfo:
+            governor.admit("t", 40, 3)
+        exc = excinfo.value
+        assert exc.tenant == "t"
+        assert exc.retry_after_rounds == 7  # next window starts at round 10
+        assert exc.remaining == 0
+        assert exc.http_status == 429
+
+    def test_degradation_is_observable(self):
+        governor = _governor(queries_per_window=100)
+        governor.commit("t", 70, 0)
+        admission = governor.admit("t", 40, 0)
+        record = admission.record()
+        assert record is not None
+        assert record["action"] == ACTION_SHRINK
+        assert record["requested"] == 40
+        assert record["granted"] == admission.granted
+        snapshot = governor.snapshot()
+        assert snapshot["tenants"]["t"]["degraded_rounds"] == 1
+        assert snapshot["tenants"]["t"]["last_action"] == ACTION_SHRINK
+
+    def test_allow_record_is_none(self):
+        assert Admission(ACTION_ALLOW, 10, 10, None).record() is None
+
+
+class TestWindowReset:
+    def test_allowance_returns_at_the_window_boundary(self):
+        governor = _governor(queries_per_window=100, window_rounds=10)
+        governor.commit("t", 100, 0)
+        assert governor.admit("t", 40, 9).action != ACTION_ALLOW
+        # Round 10 starts window 1: full allowance again.
+        assert governor.admit("t", 40, 10).action == ACTION_ALLOW
+
+    def test_deferral_counter_resets_with_the_window(self):
+        governor = _governor(
+            queries_per_window=10, window_rounds=10, max_deferrals=0,
+        )
+        governor.commit("t", 10, 0)
+        with pytest.raises(AdmissionError):
+            governor.admit("t", 40, 5)
+        assert governor.admit("t", 5, 10).action == ACTION_ALLOW
+
+    def test_service_counters_reset_too(self):
+        governor = _governor(
+            queries_per_window=None, total_queries_per_window=50,
+        )
+        governor.commit("a", 50, 0)
+        assert governor.admit("b", 40, 0).action != ACTION_ALLOW
+        assert governor.admit("b", 40, 10).action == ACTION_ALLOW
+        snapshot = governor.snapshot()
+        assert snapshot["window_queries"] == 0  # window 1, nothing spent
+        assert snapshot["queries_total"] == 50  # lifetime total survives
+
+
+class TestConcurrentAccounting:
+    def test_many_threads_account_exactly(self):
+        governor = BudgetGovernor(
+            GovernorConfig(queries_per_window=10_000, window_rounds=1000)
+        )
+        tenants = [f"t{i}" for i in range(8)]
+        rounds_per_tenant = 50
+        spend = 7
+
+        def work(tenant: str) -> None:
+            for round_index in range(rounds_per_tenant):
+                admission = governor.admit(tenant, spend, round_index)
+                assert admission.action == ACTION_ALLOW
+                governor.commit(tenant, admission.granted, round_index)
+
+        threads = [
+            threading.Thread(target=work, args=(tenant,))
+            for tenant in tenants
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = governor.snapshot()
+        expected_per_tenant = rounds_per_tenant * spend
+        for tenant in tenants:
+            usage = snapshot["tenants"][tenant]
+            assert usage["queries_total"] == expected_per_tenant
+            assert usage["rounds_run"] == rounds_per_tenant
+        assert snapshot["queries_total"] == (
+            expected_per_tenant * len(tenants)
+        )
+
+    def test_tenants_do_not_share_per_tenant_allowance(self):
+        governor = _governor(queries_per_window=100)
+        governor.commit("a", 100, 0)
+        # Tenant a is exhausted; tenant b is untouched.
+        assert governor.admit("b", 40, 0).action == ACTION_ALLOW
+
+
+class TestValidation:
+    def test_admit_rejects_non_positive_request(self):
+        with pytest.raises(ExperimentError):
+            _governor().admit("t", 0, 0)
+
+    def test_commit_rejects_negative_spend(self):
+        with pytest.raises(ExperimentError):
+            _governor().commit("t", -1, 0)
