@@ -46,6 +46,7 @@ from .config import (
     using_parallelism,
 )
 from .engine import Engine, EstimationTask, TaskHandle
+from .persistence import has_snapshot, load_engine, save_engine
 
 __all__ = [
     "ESTIMATOR_CLASSES",
@@ -54,6 +55,9 @@ __all__ = [
     "EstimationTask",
     "SEED_POLICIES",
     "TaskHandle",
+    "has_snapshot",
+    "load_engine",
+    "save_engine",
     "available_backends",
     "available_estimators",
     "get_data_plane",

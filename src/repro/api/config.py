@@ -25,6 +25,7 @@ them with one documented precedence order, highest first:
 from __future__ import annotations
 
 import dataclasses
+import os
 from contextlib import contextmanager
 from typing import Iterator
 from zlib import crc32
@@ -126,6 +127,14 @@ class EngineConfig:
         Budget accounting stays exact regardless (``budget_ledger()``
         reads O(1) counters).  ``None`` (default) keeps every report —
         bound it in long-running services.
+    store_dir:
+        Durable store directory (see :mod:`repro.api.persistence` and
+        ``docs/format.md``).  ``Engine.save()`` defaults to it, and a
+        ``mapped`` database lays its scratch run files under
+        ``<store_dir>/runs`` instead of the system temp dir, so one
+        directory holds everything the deployment writes.  ``None``
+        (default) = no durable directory; snapshots then need an explicit
+        path.
     """
 
     backend: str | None = None
@@ -138,6 +147,7 @@ class EngineConfig:
     shards: int | None = None
     parallelism: int | None = None
     report_log_limit: int | None = None
+    store_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -199,21 +209,27 @@ class EngineConfig:
     def backend_factory_options(self) -> dict:
         """The backend-specific factory options this config implies.
 
-        Only the sharded engine takes options today: its shard count and
-        — so multi-core engines parallelize shard maintenance with the
-        same knob that parallelizes their rounds — the bulk-dispatch
-        worker width.  Raises rather than silently dropping ``shards``
-        when the *resolved* backend is not sharded (``__post_init__`` can
-        only check an explicit ``backend`` field; the process default is
-        known here, at engine build time).
+        The sharded engine takes its shard count and — so multi-core
+        engines parallelize shard maintenance with the same knob that
+        parallelizes their rounds — the bulk-dispatch worker width.  The
+        mapped engine takes the directory its scratch run files live in:
+        ``<store_dir>/runs`` when this config pins a ``store_dir``, so a
+        durable deployment keeps every file it writes under one root.
+        Raises rather than silently dropping ``shards`` when the
+        *resolved* backend is not sharded (``__post_init__`` can only
+        check an explicit ``backend`` field; the process default is known
+        here, at engine build time).
         """
-        if self.resolved_backend() != "sharded":
+        resolved = self.resolved_backend()
+        if resolved != "sharded":
             if self.shards is not None:
                 raise ExperimentError(
                     f"shards={self.shards} requires the 'sharded' "
                     f"backend, but this engine resolves to "
                     f"{self.resolved_backend()!r}"
                 )
+            if resolved == "mapped" and self.store_dir is not None:
+                return {"path": os.path.join(self.store_dir, "runs")}
             return {}
         options: dict = {}
         if self.shards is not None:

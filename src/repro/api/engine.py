@@ -362,10 +362,63 @@ class Engine:
     # ------------------------------------------------------------------
     # Data loading / churn (simulator side)
     # ------------------------------------------------------------------
-    def load(self, rows) -> int:
-        """Bulk-load ``(values, measures)`` payloads (or a TupleBatch)."""
+    def _load_rows(self, rows) -> int:
+        """Bulk-load tuples into the shared database (``engine.load(...)``
+        on an instance — see :class:`_LoadName`); returns rows inserted."""
         with self._scoped():
             return self.db.insert_many(rows)
+
+    class _LoadName:
+        """``Engine.load``'s two faces, told apart by how it is reached.
+
+        On an *instance*, ``engine.load(rows)`` is the bulk-loader it has
+        always been.  On the *class*, ``Engine.load(path)`` restores a
+        saved engine from a snapshot store directory (see
+        :mod:`repro.api.persistence` — ``load_engine`` additionally
+        returns the saved ``extra`` payload).  The two uses cannot
+        collide: one needs an engine, the other produces one.
+        """
+
+        def __get__(self, instance, owner):
+            if instance is not None:
+                return instance._load_rows
+            return owner._load_path
+
+    load = _LoadName()
+
+    @classmethod
+    def _load_path(cls, path: str) -> "Engine":
+        """Restore an engine from the committed snapshot in ``path``.
+
+        The restored engine resumes bit-identically to the one
+        :meth:`save` captured — same estimates, RNG streams, histories,
+        and ledgers (see :mod:`repro.api.persistence`).
+        """
+        from .persistence import load_engine
+
+        engine, _extra = load_engine(path)
+        return engine
+
+    def save(self, path: str | None = None, extra=None) -> dict:
+        """Snapshot this engine atomically; returns the manifest.
+
+        ``path`` defaults to the config's ``store_dir``.  The snapshot is
+        taken under both engine locks, so it observes a quiescent point
+        between rounds and mutations; ``extra`` (JSON values only) rides
+        along and is handed back by :func:`repro.api.persistence
+        .load_engine`.  Crash-safe: the previous committed snapshot stays
+        readable until the new manifest is atomically renamed in.
+        """
+        from .persistence import save_engine
+
+        if path is None:
+            path = self.config.store_dir
+        if path is None:
+            raise ExperimentError(
+                "Engine.save needs a path (or a config with store_dir set)"
+            )
+        with self._scoped(), self._lock:
+            return save_engine(self, path, extra=extra)
 
     def apply_updates(
         self, mutate: Callable[[HiddenDatabase], None]

@@ -65,6 +65,12 @@ class AggregateSpec:
         materializing tuples.
     """
 
+    #: Wire description that rebuilds this spec (set by the factory
+    #: helpers below when the spec is expressible as one; ``None`` for
+    #: specs carrying custom callables).  See
+    #: :func:`repro.service.protocol.spec_to_wire`.
+    wire_form: dict | None = None
+
     def __init__(
         self,
         name: str,
@@ -219,6 +225,9 @@ class RatioSpec:
     asymptotically unbiased.
     """
 
+    #: Wire description that rebuilds this spec (see AggregateSpec).
+    wire_form: dict | None = None
+
     def __init__(self, name: str, numerator: AggregateSpec,
                  denominator: AggregateSpec):
         self.name = name
@@ -247,6 +256,9 @@ class RatioSpec:
 class SizeChangeSpec:
     """Trans-round aggregate ``Q(D_i) - Q(D_{i-1})`` for a linear base spec."""
 
+    #: Wire description that rebuilds this spec (see AggregateSpec).
+    wire_form: dict | None = None
+
     def __init__(self, name: str, base: AggregateSpec):
         self.name = name
         self.base = base
@@ -257,6 +269,9 @@ class SizeChangeSpec:
 
 class RunningAverageSpec:
     """Trans-round aggregate AVG(Q(D_i), ..., Q(D_{i-w+1})) of a base spec."""
+
+    #: Wire description that rebuilds this spec (see AggregateSpec).
+    wire_form: dict | None = None
 
     def __init__(self, name: str, base: AggregateSpec, window: int):
         if window < 1:
@@ -293,7 +308,9 @@ def _ones_column(batch: TupleBatch) -> np.ndarray:
 
 def count_all(name: str = "count") -> AggregateSpec:
     """COUNT(*) over the whole database."""
-    return AggregateSpec(name, f=lambda t: 1.0, column_f=_ones_column)
+    spec = AggregateSpec(name, f=lambda t: 1.0, column_f=_ones_column)
+    spec.wire_form = {"kind": "count", "name": name}
+    return spec
 
 
 def count_where(
@@ -306,10 +323,14 @@ def count_where(
     predicates = _pushdown_from_labels(schema, where)
     if name is None:
         name = "count_" + "_".join(f"{k}={v}" for k, v in where.items())
-    return AggregateSpec(
+    spec = AggregateSpec(
         name, f=lambda t: 1.0, selection=selection,
         interface_predicates=predicates, column_f=_ones_column,
     )
+    if selection is None:
+        # A residual callable cannot cross the wire; leave wire_form unset.
+        spec.wire_form = {"kind": "count", "where": dict(where), "name": name}
+    return spec
 
 
 def sum_measure(
@@ -324,13 +345,18 @@ def sum_measure(
     predicates = _pushdown_from_labels(schema, where)
     if name is None:
         name = f"sum_{measure}"
-    return AggregateSpec(
+    spec = AggregateSpec(
         name,
         f=lambda t: t.measure(measure_index),
         selection=selection,
         interface_predicates=predicates,
         column_f=lambda batch: batch.measures[:, measure_index],
     )
+    if selection is None:
+        spec.wire_form = {"kind": "sum", "measure": measure, "name": name}
+        if where:
+            spec.wire_form["where"] = dict(where)
+    return spec
 
 
 def avg_measure(
@@ -342,13 +368,17 @@ def avg_measure(
     """AVG of a measure = SUM/COUNT ratio spec."""
     if name is None:
         name = f"avg_{measure}"
-    return RatioSpec(
+    spec = RatioSpec(
         name,
         numerator=sum_measure(schema, measure, where, name=f"{name}__sum"),
         denominator=count_where(schema, where or {}, name=f"{name}__count")
         if where
         else count_all(f"{name}__count"),
     )
+    spec.wire_form = {"kind": "avg", "measure": measure, "name": name}
+    if where:
+        spec.wire_form["where"] = dict(where)
+    return spec
 
 
 def proportion_where(
@@ -359,13 +389,22 @@ def proportion_where(
         name = "share_" + "_".join(f"{k}={v}" for k, v in where.items())
     numerator = count_where(schema, where, name=f"{name}__num")
     # The denominator intentionally has no pushdown: it counts everything.
-    return RatioSpec(name, numerator, count_all(f"{name}__den"))
+    spec = RatioSpec(name, numerator, count_all(f"{name}__den"))
+    spec.wire_form = {
+        "kind": "proportion", "where": dict(where), "name": name,
+    }
+    return spec
 
 
 def size_change(base: AggregateSpec | None = None,
                 name: str = "size_change") -> SizeChangeSpec:
     """|D_i| - |D_{i-1}| (or the change of any linear aggregate)."""
-    return SizeChangeSpec(name, base if base is not None else count_all())
+    spec = SizeChangeSpec(name, base if base is not None else count_all())
+    if base is None or base.wire_form is not None:
+        spec.wire_form = {"kind": "size_change", "name": name}
+        if base is not None:
+            spec.wire_form["base"] = dict(base.wire_form)
+    return spec
 
 
 def running_average(
@@ -374,10 +413,18 @@ def running_average(
     name: str | None = None,
 ) -> RunningAverageSpec:
     """Running average of COUNT (or any linear aggregate) over a window."""
+    explicit_base = base
     base = base if base is not None else count_all()
     if name is None:
         name = f"running_avg_{window}"
-    return RunningAverageSpec(name, base, window)
+    spec = RunningAverageSpec(name, base, window)
+    if explicit_base is None or explicit_base.wire_form is not None:
+        spec.wire_form = {
+            "kind": "running_average", "window": window, "name": name,
+        }
+        if explicit_base is not None:
+            spec.wire_form["base"] = dict(explicit_base.wire_form)
+    return spec
 
 
 def base_specs_of(specs) -> list[AggregateSpec]:

@@ -213,6 +213,104 @@ class EstimatorBase:
         #: Optional drill-down archive for ad-hoc (retroactive) queries.
         self.archive = None
 
+    # ------------------------------------------------------------------
+    # Persistence (see repro.api.persistence / docs/format.md)
+    # ------------------------------------------------------------------
+    def state_to_wire(self) -> dict:
+        """This estimator's round-crossing state as a strict-JSON payload.
+
+        Captures everything :meth:`restore_state` needs to continue the
+        estimation bit-identically on a freshly constructed twin (same
+        interface, specs, and options): the RNG stream position, every
+        drill-down record, the report history, and the current per-round
+        budget.  Derived structures (the query tree, RS's pooled
+        variances) are deterministic from the constructor arguments or
+        recomputed each round and are deliberately not captured.
+
+        Raises :class:`~repro.errors.EstimationError` when the estimator
+        carries live callables/objects that cannot cross a snapshot (an
+        ``on_query`` mutation hook or an attached drill-down archive).
+        """
+        from ..wire import encode_float, encode_float_map, stamp
+
+        if self.on_query is not None:
+            raise EstimationError(
+                "estimators with an on_query mutation hook cannot be "
+                "snapshot (the hook is a live callable)"
+            )
+        if self.archive is not None:
+            raise EstimationError(
+                "estimators with an attached drill-down archive cannot be "
+                "snapshot; detach the archive first"
+            )
+        version, internal, gauss = self.rng.getstate()
+        return stamp({
+            "algorithm": self.name,
+            "budget_per_round": self.budget_per_round,
+            "rng": [
+                int(version),
+                [int(word) for word in internal],
+                None if gauss is None else encode_float(float(gauss)),
+            ],
+            "records": [
+                {
+                    "signature": [int(digit) for digit in record.signature],
+                    "depth": int(record.depth),
+                    "last_round": int(record.last_round),
+                    "contributions": encode_float_map(record.contributions),
+                    "leaf_overflow": bool(record.leaf_overflow),
+                }
+                for record in self.records
+            ],
+            "history": [report.to_dict() for report in self.history],
+            "stats": self.interface.stats.as_dict(),
+        })
+
+    def restore_state(self, payload: Mapping) -> None:
+        """Adopt a :meth:`state_to_wire` payload (exact round trip).
+
+        The estimator must have been constructed with the same interface,
+        specs, seed-independent options, and schema as the one that was
+        saved; this method then overwrites the RNG state, records,
+        history, budget, and interface counters so the next
+        :meth:`run_round` is bit-identical to the uninterrupted run.
+        """
+        from ..wire import decode_float, decode_float_map
+
+        version, internal, gauss = payload["rng"]
+        self.rng.setstate((
+            int(version),
+            tuple(int(word) for word in internal),
+            None if gauss is None else decode_float(gauss),
+        ))
+        self.budget_per_round = int(payload["budget_per_round"])
+        self.records = [
+            DrillDownRecord(
+                tuple(int(digit) for digit in entry["signature"]),
+                int(entry["depth"]),
+                int(entry["last_round"]),
+                decode_float_map(entry["contributions"]),
+                leaf_overflow=bool(entry.get("leaf_overflow", False)),
+            )
+            for entry in payload["records"]
+        ]
+        self.history = [
+            RoundReport.from_dict(entry) for entry in payload["history"]
+        ]
+        # Rebuilt in first-seen order, matching the original mapping's
+        # insertion order (re-assignment of a round keeps its position,
+        # exactly as the live dict behaved).
+        self._reports_by_round = {}
+        for report in self.history:
+            self._reports_by_round[report.round_index] = report
+        stats = payload.get("stats")
+        if stats is not None:
+            counters = self.interface.stats
+            counters.queries = int(stats["queries"])
+            counters.underflow = int(stats["underflow"])
+            counters.valid = int(stats["valid"])
+            counters.overflow = int(stats["overflow"])
+
     def attach_archive(self):
         """Attach (and return) a client-side archive of every drill-down.
 

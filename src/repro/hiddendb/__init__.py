@@ -20,6 +20,7 @@ from .backends import (
     using_backend,
     using_backend_options,
 )
+from .backends_mapped import MappedBackend
 from .database import HiddenDatabase
 from .interface import TopKInterface
 from .query import ConjunctiveQuery
@@ -45,6 +46,7 @@ __all__ = [
     "HiddenDatabase",
     "HiddenTuple",
     "KeyCodec",
+    "MappedBackend",
     "MeasureScore",
     "PackedArrayBackend",
     "PrefixIndex",

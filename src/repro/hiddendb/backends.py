@@ -8,7 +8,7 @@ module separates the *query interface* (:class:`StorageBackend`) from the
 globally (the ``--backend`` CLI flag and the ``REPRO_BENCH_BACKEND``
 benchmark knob).
 
-Three engines ship:
+Four engines ship:
 
 * ``"blocked"`` — :class:`~repro.hiddendb.store.SortedKeyList`, the seed's
   blocked sorted list: O(sqrt n) point updates, O(log n + #blocks) rank.
@@ -28,6 +28,13 @@ Three engines ship:
   count, the inner engine, and the worker count arrive through the
   *backend options* channel (``make_backend(..., shards=8)``), which
   :class:`~repro.api.EngineConfig` and the CLI (``--shards``) populate.
+* ``"mapped"`` — :class:`~repro.hiddendb.backends_mapped.MappedBackend`:
+  the packed engine's run/tail/dead scheme with the main sorted run laid
+  into memory-mapped little-endian int64 files (fixed-width 63-bit limb
+  matrices for key universes beyond int64) under a store directory — the
+  persistent tier; see :mod:`repro.hiddendb.backends_mapped` and
+  ``docs/format.md``.  Registered by its own module to keep this one
+  import-light.
 
 **Reader-concurrency contract** (all shipped engines): any number of
 threads may issue read-only calls (``rank`` / ``count_range`` /

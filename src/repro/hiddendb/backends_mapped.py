@@ -1,0 +1,559 @@
+"""Memory-mapped sorted-run storage engine — the ``"mapped"`` backend.
+
+The fourth storage engine (see :mod:`repro.hiddendb.backends` for the
+other three) keeps its main sorted run in **memory-mapped files** instead
+of process RAM.  The layout is the packed engine's run/tail/dead scheme —
+one large immutable sorted run plus small in-RAM insert/delete buffers —
+but each compaction writes a *new* run file, fsyncs it, remaps, and only
+then unlinks the old one, so:
+
+* multi-ten-million-key indexes cost page cache, not anonymous RAM, and
+  a warm index reopens at page-in speed;
+* every view handed out by :meth:`MappedBackend.range_keys` is a slice of
+  an immutable mapped run — the columnar query plane reads mapped runs
+  with no format change, and a view stays a valid snapshot across
+  compactions (the old mapping survives the unlink until released);
+* the on-disk format is trivial to specify and snapshot (see
+  ``docs/format.md`` — run files are raw little-endian int64 vectors, or
+  fixed-width limb matrices for wide keys).
+
+Key representation:
+
+* **Narrow keys** (the key universe fits a signed 64-bit word, which
+  :class:`~repro.hiddendb.store.KeyCodec` guarantees whenever
+  ``fits_int64``): the run file is one little-endian int64 vector; rank
+  is a single C-speed ``np.searchsorted``.
+* **Wide keys** (mixed-radix universes beyond ``2**63``): each key is
+  split into a fixed number of 63-bit limbs, most-significant first, and
+  the run file is an ``(n, L)`` little-endian int64 matrix.  Rows in
+  lexicographic order are exactly keys in numeric order (limbs are
+  non-negative and fixed-width), so rank narrows an index window with one
+  ``np.searchsorted`` per limb column — L binary searches instead of
+  ~log2(n) arbitrary-precision comparisons.  Range reads recombine only
+  the rows inside the window back into Python ints.
+
+Run files live in a private subdirectory of the factory's ``path`` option
+(a fresh temporary directory when no path is given) and are **scratch**:
+crash durability comes from the atomic epoch snapshots of
+:mod:`repro.api.persistence`, which serialize the tuple heap and rebuild
+indexes on restore.  The directory is removed when the backend is
+garbage-collected or :meth:`MappedBackend.close`\\ d.
+
+Concurrency follows the module contract of
+:mod:`repro.hiddendb.backends`: concurrent readers are safe (the rank
+cache is add-only under the GIL; runs are immutable), mutations must be
+externally serialized — the engine facade's round barrier provides that.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import weakref
+from bisect import bisect_left, insort
+from heapq import merge as heap_merge
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .backends import (
+    _CHUNK,
+    _INT64_MAX,
+    _RANK_CACHE_LIMIT,
+    DEFAULT_BLOCK_SIZE,
+    _as_int64_batch,
+    _object_chunks,
+    _sorted_multiset_subtract,
+    register_backend,
+)
+
+#: Bits per limb of a wide key (63 keeps every limb a non-negative int64,
+#: so limb columns sort identically as signed and as unsigned words).
+LIMB_BITS = 63
+
+#: Mask selecting one limb.
+LIMB_MASK = (1 << LIMB_BITS) - 1
+
+#: On-disk element type of every run file: little-endian signed 64-bit.
+RUN_DTYPE = np.dtype("<i8")
+
+
+def limb_count(key_bound: int) -> int:
+    """Limbs needed for keys in ``[0, key_bound)`` (``key_bound > 2**63``)."""
+    bits = max(int(key_bound) - 1, 1).bit_length()
+    return max(1, (bits + LIMB_BITS - 1) // LIMB_BITS)
+
+
+class MappedBackend:
+    """Sorted-multiset engine whose main run is a memory-mapped file.
+
+    Parameters
+    ----------
+    keys:
+        Initial contents (any iterable of non-negative ints).
+    key_bound:
+        Exclusive upper bound of the key universe.  ``<= 2**63 - 1``
+        (or ``None``) selects the narrow int64 layout; a wider bound
+        selects the fixed-width limb-matrix layout.  Prefix indexes
+        always pass their codec's exact bound.
+    min_buffer:
+        Floor of the in-RAM tail/dead buffer size before a compaction
+        rewrites the run file (the adaptive limit is
+        ``max(min_buffer, len(run) / 8)``, as in the packed engine).
+    path:
+        Directory under which this backend creates its private run
+        directory.  ``None`` uses the system temporary directory.  Run
+        files are scratch — see the module docstring for the durability
+        story — and the private directory is deleted on :meth:`close`
+        or garbage collection.
+    """
+
+    __slots__ = (
+        "directory", "_run", "_run_path", "_generation", "_limbs",
+        "_packed", "_tail", "_dead", "_size", "_min_buffer",
+        "_rank_cache", "_key_bound", "_finalizer", "__weakref__",
+    )
+
+    def __init__(
+        self,
+        keys: Iterable[int] = (),
+        key_bound: int | None = None,
+        min_buffer: int = 256,
+        path: str | None = None,
+    ):
+        self._packed = key_bound is None or 0 <= key_bound <= _INT64_MAX
+        self._limbs = 1 if self._packed else limb_count(key_bound)
+        self._key_bound = key_bound
+        self._min_buffer = min_buffer
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+        self.directory = tempfile.mkdtemp(prefix="mapped-", dir=path)
+        self._finalizer = weakref.finalize(
+            self, shutil.rmtree, self.directory, ignore_errors=True
+        )
+        self._run_path: str | None = None
+        self._generation = 0
+        self._install_run(sorted(keys))
+        self._tail: list[int] = []
+        self._dead: list[int] = []
+        self._size = len(self._run)
+        self._rank_cache: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Run-file management
+    # ------------------------------------------------------------------
+    @property
+    def is_packed(self) -> bool:
+        """True when the run is a plain int64 vector (narrow keys)."""
+        return self._packed
+
+    @property
+    def run_path(self) -> str | None:
+        """Path of the current run file (``None`` before the first write)."""
+        return self._run_path
+
+    def close(self) -> None:
+        """Delete the backend's run directory now (idempotent).
+
+        Views previously handed out by :meth:`range_keys` stay readable —
+        the unlinked files' mappings survive until the views are
+        released — but the backend itself must not be used afterwards.
+        """
+        self._finalizer()
+
+    def _limb_matrix(self, keys: Sequence[int]) -> np.ndarray:
+        """Wide keys as an ``(n, L)`` int64 matrix, most-significant limb
+        first (lexicographic row order == numeric key order)."""
+        out = np.empty((len(keys), self._limbs), dtype=np.int64)
+        position = 0
+        for chunk in _object_chunks(keys):
+            n = len(chunk)
+            remaining = chunk
+            for column in range(self._limbs - 1, -1, -1):
+                out[position:position + n, column] = (
+                    remaining & LIMB_MASK
+                ).astype(np.int64)
+                remaining = remaining >> LIMB_BITS
+            position += n
+        return out
+
+    def _recombine(self, rows: np.ndarray) -> list[int]:
+        """Limb-matrix rows back to Python ints (inverse of the above)."""
+        if not len(rows):
+            return []
+        acc = rows[:, 0].astype(object)
+        for column in range(1, self._limbs):
+            acc = (acc << LIMB_BITS) | rows[:, column].astype(object)
+        return acc.tolist()
+
+    def _install_run(self, sorted_keys) -> None:
+        """Replace the run file with the given sorted contents."""
+        if self._packed:
+            data = np.ascontiguousarray(sorted_keys, dtype=RUN_DTYPE)
+        else:
+            data = self._limb_matrix(
+                sorted_keys if isinstance(sorted_keys, list)
+                else list(sorted_keys)
+            ).astype(RUN_DTYPE, copy=False)
+        self._generation += 1
+        path = os.path.join(
+            self.directory, f"run-{self._generation:08d}.i64"
+        )
+        with open(path, "wb") as handle:
+            handle.write(data.tobytes())
+            handle.flush()
+            os.fsync(handle.fileno())
+        previous = self._run_path
+        self._run_path = path
+        if data.size:
+            self._run = np.memmap(
+                path, dtype=RUN_DTYPE, mode="r", shape=data.shape
+            )
+        else:
+            self._run = np.empty(data.shape, dtype=RUN_DTYPE)
+        if previous is not None:
+            try:
+                os.unlink(previous)
+            except OSError:  # pragma: no cover - best-effort scratch cleanup
+                pass
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Run probes
+    # ------------------------------------------------------------------
+    def _run_bisect(self, key: int, side: str = "left") -> int:
+        """Bisect position of ``key`` in the mapped run."""
+        run = self._run
+        length = len(run)
+        if not length:
+            return 0
+        if self._packed:
+            if key > _INT64_MAX:
+                return length
+            if key < -_INT64_MAX - 1:
+                return 0
+            return int(np.searchsorted(run, key, side=side))
+        return self._run_window(key)[0 if side == "left" else 1]
+
+    def _run_window(self, key: int) -> tuple[int, int]:
+        """Equal range ``[lo, hi)`` of a wide key in the limb-matrix run.
+
+        One ``np.searchsorted`` per limb column narrows the window; the
+        fixed-width most-significant-first layout makes each narrowing
+        exact (truncating a key to its leading limbs is monotone).
+        """
+        run = self._run
+        lo, hi = 0, len(run)
+        if key < 0:
+            return 0, 0
+        if key >> (LIMB_BITS * self._limbs):
+            return hi, hi
+        limbs = [0] * self._limbs
+        remaining = key
+        for position in range(self._limbs - 1, -1, -1):
+            limbs[position] = remaining & LIMB_MASK
+            remaining >>= LIMB_BITS
+        for column, limb in enumerate(limbs):
+            window = run[lo:hi, column]
+            offset = lo
+            lo = offset + int(np.searchsorted(window, limb, side="left"))
+            hi = offset + int(np.searchsorted(window, limb, side="right"))
+            if lo == hi:
+                break
+        return lo, hi
+
+    def _iter_run_keys(
+        self, start: int = 0, stop: int | None = None
+    ) -> Iterator[int]:
+        """Run keys in row positions ``[start, stop)`` as Python ints."""
+        run = self._run
+        if stop is None:
+            stop = len(run)
+        for position in range(start, stop, _CHUNK):
+            chunk = run[position:min(position + _CHUNK, stop)]
+            if self._packed:
+                yield from chunk.tolist()
+            else:
+                yield from self._recombine(chunk)
+
+    def _iter_live_run(
+        self, lo: int | None = None, hi: int | None = None
+    ) -> Iterator[int]:
+        """Run keys in ``[lo, hi)`` minus their dead occurrences."""
+        start = 0 if lo is None else self._run_bisect(lo, "left")
+        stop = (
+            len(self._run) if hi is None else self._run_bisect(hi, "left")
+        )
+        dead = self._dead
+        dead_position = 0 if lo is None else bisect_left(dead, lo)
+        dead_length = len(dead)
+        for key in self._iter_run_keys(start, stop):
+            if dead_position < dead_length and dead[dead_position] == key:
+                dead_position += 1
+                continue
+            yield key
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def _buffer_limit(self) -> int:
+        return max(self._min_buffer, len(self._run) >> 3)
+
+    def _dirty(self) -> None:
+        if self._rank_cache:
+            self._rank_cache.clear()
+
+    def _maybe_compact(self) -> None:
+        if len(self._tail) + len(self._dead) > self._buffer_limit():
+            self._compact()
+
+    def _compact(self) -> None:
+        """Merge the buffers into a fresh fsynced run file (O(n))."""
+        if self._tail or self._dead:
+            self._install_run(
+                list(heap_merge(self._iter_live_run(), self._tail))
+            )
+            self._tail = []
+            self._dead = []
+
+    def add(self, key: int) -> None:
+        """Insert ``key`` keeping order; duplicates are allowed."""
+        insort(self._tail, key)
+        self._size += 1
+        self._dirty()
+        self._maybe_compact()
+
+    def bulk_add(self, keys: Iterable[int]) -> None:
+        """Insert a batch in one sort+merge instead of per-key insertion.
+
+        A numeric ``np.ndarray`` batch that rivals the run size rewrites
+        the run file in one vectorized merge (narrow layout only); small
+        batches land in the in-RAM tail.
+        """
+        array_batch = _as_int64_batch(keys)
+        if array_batch is not None:
+            if self._packed and len(array_batch) * 8 >= len(self._run):
+                self._bulk_add_array(array_batch)
+                return
+            keys = array_batch.tolist()
+        batch = sorted(keys)
+        if not batch:
+            return
+        if self._tail:
+            self._tail = list(heap_merge(self._tail, batch))
+        else:
+            self._tail = batch
+        self._size += len(batch)
+        self._dirty()
+        self._maybe_compact()
+
+    def _live_array(self) -> np.ndarray:
+        """All live keys (run − dead, merged with tail) as sorted int64."""
+        run = (
+            np.asarray(self._run, dtype=np.int64)
+            if len(self._run)
+            else np.empty(0, dtype=np.int64)
+        )
+        if self._dead:
+            run = _sorted_multiset_subtract(
+                run, np.asarray(self._dead, dtype=np.int64),
+                type(self).__name__,
+            )
+        if self._tail:
+            run = np.concatenate(
+                [run, np.asarray(self._tail, dtype=np.int64)]
+            )
+            run.sort()
+        return run
+
+    def _replace_run(self, merged: np.ndarray) -> None:
+        self._install_run(merged)
+        self._tail = []
+        self._dead = []
+        self._size = len(merged)
+        self._dirty()
+
+    def _bulk_add_array(self, batch: np.ndarray) -> None:
+        if not len(batch):
+            return
+        merged = np.concatenate([self._live_array(), batch])
+        merged.sort()
+        self._replace_run(merged)
+
+    def _remove_one(self, key: int) -> None:
+        position = bisect_left(self._tail, key)
+        if position < len(self._tail) and self._tail[position] == key:
+            del self._tail[position]
+        elif (
+            self._run_bisect(key, "right") - self._run_bisect(key, "left")
+            - self._count(self._dead, key) > 0
+        ):
+            insort(self._dead, key)
+        else:
+            raise ValueError(f"key {key} not in MappedBackend")
+        self._size -= 1
+        self._dirty()
+
+    def remove(self, key: int) -> None:
+        """Remove one occurrence of ``key``; raise ``ValueError`` if absent."""
+        self._remove_one(key)
+        self._maybe_compact()
+
+    def bulk_remove(self, keys: Iterable[int]) -> None:
+        """Remove a batch, deferring physical deletion to one compaction.
+
+        A numeric ``np.ndarray`` batch that rivals the run size rewrites
+        the run file with one vectorized multiset subtraction (narrow
+        layout only).
+        """
+        array_batch = _as_int64_batch(keys)
+        if array_batch is not None:
+            if self._packed and len(array_batch) * 8 >= len(self._run):
+                self._bulk_remove_array(array_batch)
+                return
+            keys = array_batch.tolist()
+        for key in sorted(keys):
+            self._remove_one(key)
+        self._maybe_compact()
+
+    def _bulk_remove_array(self, batch: np.ndarray) -> None:
+        if not len(batch):
+            return
+        survivors = _sorted_multiset_subtract(
+            self._live_array(), np.sort(batch), type(self).__name__
+        )
+        self._replace_run(survivors)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _count(seq, key: int) -> int:
+        from bisect import bisect_right
+
+        return bisect_right(seq, key) - bisect_left(seq, key)
+
+    def __contains__(self, key: int) -> bool:
+        if self._count(self._tail, key):
+            return True
+        run_count = (
+            self._run_bisect(key, "right") - self._run_bisect(key, "left")
+        )
+        return run_count - self._count(self._dead, key) > 0
+
+    def rank(self, key: int) -> int:
+        """Number of stored keys strictly smaller than ``key``."""
+        cached = self._rank_cache.get(key)
+        if cached is not None:
+            return cached
+        value = (
+            self._run_bisect(key, "left")
+            + bisect_left(self._tail, key)
+            - bisect_left(self._dead, key)
+        )
+        if len(self._rank_cache) < _RANK_CACHE_LIMIT:
+            self._rank_cache[key] = value
+        return value
+
+    def count_range(self, lo: int, hi: int) -> int:
+        """Number of keys in the half-open interval ``[lo, hi)``."""
+        if hi <= lo:
+            return 0
+        return self.rank(hi) - self.rank(lo)
+
+    def iter_range(self, lo: int, hi: int) -> Iterator[int]:
+        """Yield keys in ``[lo, hi)`` in ascending order."""
+        if hi <= lo:
+            return iter(())
+        tail = self._tail
+        tail_slice = tail[bisect_left(tail, lo):bisect_left(tail, hi)]
+        dead = self._dead
+        if not tail_slice and bisect_left(dead, lo) == bisect_left(dead, hi):
+            return self._iter_run_keys(
+                self._run_bisect(lo, "left"), self._run_bisect(hi, "left")
+            )
+        return heap_merge(self._iter_live_run(lo, hi), tail_slice)
+
+    def range_keys(self, lo: int, hi: int) -> "np.ndarray | list[int]":
+        """Keys in ``[lo, hi)`` as one vector — array-native ``iter_range``.
+
+        With no buffered keys in range this is a **zero-copy slice of the
+        memory-mapped run** (narrow layout; an int64 view the columnar
+        query plane consumes directly), or the recombined window rows
+        (wide layout, a list of Python ints).  Returned views must not be
+        mutated; they stay valid snapshots across compactions because
+        runs are replaced, never mutated, and an unlinked mapping
+        survives until the view is released.
+        """
+        if hi <= lo:
+            return np.empty(0, dtype=np.int64) if self._packed else []
+        tail = self._tail
+        tail_slice = tail[bisect_left(tail, lo):bisect_left(tail, hi)]
+        dead = self._dead
+        if not tail_slice and bisect_left(dead, lo) == bisect_left(dead, hi):
+            start = self._run_bisect(lo, "left")
+            stop = self._run_bisect(hi, "left")
+            if self._packed:
+                return self._run[start:stop]
+            return self._recombine(self._run[start:stop])
+        return list(heap_merge(self._iter_live_run(lo, hi), tail_slice))
+
+    def __iter__(self) -> Iterator[int]:
+        yield from heap_merge(self._iter_live_run(), list(self._tail))
+
+    def check_invariants(self) -> None:
+        """Validate internal structure (used by property tests)."""
+        run = list(self._iter_run_keys())
+        assert run == sorted(run), "unsorted run"
+        assert self._tail == sorted(self._tail), "unsorted tail"
+        assert self._dead == sorted(self._dead), "unsorted dead list"
+        for key in set(self._dead):
+            assert self._count(self._dead, key) <= self._count(run, key), (
+                "dead key without matching run occurrence"
+            )
+        assert self._size == len(run) + len(self._tail) - len(self._dead), (
+            "size counter out of sync"
+        )
+        if run:
+            assert self._run_path is not None, "run without a backing file"
+            assert os.path.exists(self._run_path), "missing run file"
+            expected = len(run) * self._limbs * RUN_DTYPE.itemsize
+            assert os.path.getsize(self._run_path) == expected, (
+                "run file size out of sync"
+            )
+        if not self._packed:
+            assert self._run.ndim == 2 and (
+                self._run.shape[1] == self._limbs
+            ), "limb matrix shape out of sync"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        layout = "int64" if self._packed else f"{self._limbs}-limb"
+        return (
+            f"MappedBackend(n={self._size}, layout={layout}, "
+            f"dir={self.directory!r})"
+        )
+
+
+def _mapped_factory(
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    key_bound: int | None = None,
+    path: str | None = None,
+    min_buffer: int | None = None,
+) -> MappedBackend:
+    # Like the packed factory, block_size tunes the buffer floor so the
+    # one knob threaded through TupleStore / HiddenDatabase applies here
+    # too; an explicit min_buffer option wins.
+    return MappedBackend(
+        key_bound=key_bound,
+        min_buffer=(
+            int(min_buffer) if min_buffer is not None
+            else max(64, block_size // 4)
+        ),
+        path=path,
+    )
+
+
+register_backend("mapped", _mapped_factory)

@@ -63,14 +63,86 @@ class ServiceApp:
         engine: Engine,
         governor: BudgetGovernor | None = None,
         replay_limit: int = DEFAULT_REPLAY_LIMIT,
+        store_dir: str | None = None,
+        snapshot_every: int | None = None,
     ):
+        """``store_dir`` makes the service durable: :meth:`snapshot`
+        writes atomic epoch snapshots there (engine + governor state, see
+        :mod:`repro.api.persistence`), and ``snapshot_every=N`` takes one
+        automatically after every ``N`` completed rounds.  ``store_dir``
+        defaults to the engine config's ``store_dir``; ``snapshot_every``
+        without a resolvable store directory raises."""
         self.engine = engine
         self.governor = governor if governor is not None else BudgetGovernor()
+        self.store_dir = (
+            store_dir if store_dir is not None
+            else engine.config.store_dir
+        )
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ExperimentError("snapshot_every must be positive")
+        if snapshot_every is not None and self.store_dir is None:
+            raise ExperimentError(
+                "snapshot_every needs a store_dir (on the app or on the "
+                "engine config)"
+            )
+        self.snapshot_every = snapshot_every
+        self._rounds_since_snapshot = 0
         self._round_lock = threading.Lock()
         self._publish_lock = threading.Lock()
         self._listeners: set[EventListener] = set()
         self._events: deque[dict] = deque(maxlen=replay_limit)
         self._seq = 0
+
+    @classmethod
+    def restore(
+        cls,
+        store_dir: str,
+        governor: BudgetGovernor | None = None,
+        replay_limit: int = DEFAULT_REPLAY_LIMIT,
+        snapshot_every: int | None = None,
+    ) -> "ServiceApp":
+        """Rebuild a service from the committed snapshot in ``store_dir``.
+
+        The engine resumes bit-identically (tasks, RNG streams, ledgers);
+        the governor's usage counters are restored into ``governor`` (or
+        a fresh default one), while its *policy* stays whatever the caller
+        constructed — operators may retune limits across a restart.
+        """
+        from ..api.persistence import load_engine
+
+        engine, extra = load_engine(store_dir)
+        app = cls(
+            engine,
+            governor=governor,
+            replay_limit=replay_limit,
+            store_dir=store_dir,
+            snapshot_every=snapshot_every,
+        )
+        if isinstance(extra, dict) and extra.get("governor") is not None:
+            app.governor.restore_state(extra["governor"])
+        return app
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def snapshot(self, path: str | None = None) -> dict:
+        """Take one atomic snapshot (engine + governor); returns the
+        manifest.  Serialized with the mutating handlers, so it always
+        observes a between-rounds quiescent point."""
+        target = path if path is not None else self.store_dir
+        if target is None:
+            raise ExperimentError(
+                "snapshot needs a path (or an app built with store_dir)"
+            )
+        with self._round_lock:
+            return self._snapshot_locked(target)
+
+    def _snapshot_locked(self, target: str) -> dict:
+        manifest = self.engine.save(
+            target, extra={"governor": self.governor.state_to_wire()}
+        )
+        self._rounds_since_snapshot = 0
+        return manifest
 
     # ------------------------------------------------------------------
     # Mutating handlers (serialized)
@@ -107,6 +179,10 @@ class ServiceApp:
                 if position and request.advance:
                     self.engine.advance_round()
                 results.append(self._run_one_round(request))
+                if self.snapshot_every is not None:
+                    self._rounds_since_snapshot += 1
+                    if self._rounds_since_snapshot >= self.snapshot_every:
+                        self._snapshot_locked(self.store_dir)
         return RoundsResponse(results)
 
     def _run_one_round(self, request: RoundRequest) -> RoundResult:

@@ -21,7 +21,7 @@ import contextlib
 import signal
 import sys
 
-from ..api import Engine, EngineConfig
+from ..api import Engine, EngineConfig, has_snapshot
 from ..data.synthetic import skewed_source
 from ..hiddendb.database import HiddenDatabase
 from .app import ServiceApp
@@ -56,7 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     engine = parser.add_argument_group("engine")
     engine.add_argument("--backend", default=None,
-                        help="storage backend (blocked/packed/sharded)")
+                        help="storage backend (blocked/packed/sharded/mapped)")
     engine.add_argument("--shards", type=int, default=None,
                         help="shard count (sharded backend only)")
     engine.add_argument("--parallelism", type=int, default=None,
@@ -67,6 +67,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="default per-task round budget G")
     engine.add_argument("--report-log-limit", type=int, default=4096,
                         help="retained reports per task / engine log")
+
+    durability = parser.add_argument_group("durability")
+    durability.add_argument(
+        "--store-dir", default=None,
+        help="durable store directory: restore the committed snapshot on "
+             "start when one exists, write snapshots there (and home the "
+             "mapped backend's run files under it)",
+    )
+    durability.add_argument(
+        "--snapshot-every", type=int, default=None,
+        help="auto-snapshot after every N completed rounds "
+             "(requires --store-dir; default: manual snapshots only)",
+    )
 
     governor = parser.add_argument_group("governor")
     governor.add_argument(
@@ -103,7 +116,28 @@ def _csv_names(text: str) -> tuple[str, ...]:
 
 
 def build_app(args: argparse.Namespace) -> ServiceApp:
-    """The governed service app ``repro-serve`` exposes (test seam)."""
+    """The governed service app ``repro-serve`` exposes (test seam).
+
+    With ``--store-dir`` pointing at a committed snapshot, the service
+    *restores* instead of rebuilding: the synthetic-source flags are
+    ignored in favor of the saved database, tasks, and RNG streams, so a
+    killed ``repro-serve`` restarts bit-identical to its last snapshot
+    (governor policy flags still apply — only usage counters restore).
+    """
+    governor = BudgetGovernor(GovernorConfig(
+        queries_per_window=args.queries_per_window,
+        window_rounds=args.window_rounds,
+        shrink_steps=_csv_floats(args.shrink_steps),
+        max_deferrals=args.max_deferrals,
+        total_queries_per_window=args.total_queries_per_window,
+        max_tenants=args.max_tenants,
+    ))
+    if args.store_dir is not None and has_snapshot(args.store_dir):
+        return ServiceApp.restore(
+            args.store_dir,
+            governor=governor,
+            snapshot_every=args.snapshot_every,
+        )
     measures = _csv_names(args.measures)
     source = skewed_source(
         _csv_ints(args.domain_sizes),
@@ -124,6 +158,7 @@ def build_app(args: argparse.Namespace) -> ServiceApp:
         shards=args.shards,
         parallelism=args.parallelism,
         report_log_limit=args.report_log_limit,
+        store_dir=args.store_dir,
     )
     db = HiddenDatabase(
         source.schema,
@@ -133,15 +168,7 @@ def build_app(args: argparse.Namespace) -> ServiceApp:
     )
     db.insert_many(source.batch_columns(args.rows))
     engine = Engine(config, db=db)
-    governor = BudgetGovernor(GovernorConfig(
-        queries_per_window=args.queries_per_window,
-        window_rounds=args.window_rounds,
-        shrink_steps=_csv_floats(args.shrink_steps),
-        max_deferrals=args.max_deferrals,
-        total_queries_per_window=args.total_queries_per_window,
-        max_tenants=args.max_tenants,
-    ))
-    return ServiceApp(engine, governor)
+    return ServiceApp(engine, governor, snapshot_every=args.snapshot_every)
 
 
 async def _serve(app: ServiceApp, host: str, port: int) -> None:

@@ -299,6 +299,47 @@ class BudgetGovernor:
             self._queries_total += used
 
     # ------------------------------------------------------------------
+    # Persistence (see repro.api.persistence / docs/format.md)
+    # ------------------------------------------------------------------
+    def state_to_wire(self) -> dict:
+        """Full governor state as a strict-JSON payload: the policy plus
+        every counter :meth:`restore_state` needs to continue admission
+        decisions exactly where a killed service left off (window
+        alignment, per-tenant deferral streaks, service totals)."""
+        with self._lock:
+            return stamp({
+                "config": dataclasses.asdict(self.config),
+                "window_index": self._window_index,
+                "window_queries": self._window_queries,
+                "queries_total": self._queries_total,
+                "tenants": {
+                    name: usage.snapshot()
+                    for name, usage in self._tenants.items()
+                },
+            })
+
+    def restore_state(self, payload: Mapping) -> None:
+        """Adopt a :meth:`state_to_wire` payload (exact round trip).
+
+        The policy config is *not* replaced — the restored service runs
+        under whatever policy it was constructed with (operators may
+        legitimately tighten limits across a restart); only the usage
+        counters are restored.
+        """
+        known = {field.name for field in dataclasses.fields(TenantUsage)}
+        with self._lock:
+            self._window_index = int(payload["window_index"])
+            self._window_queries = int(payload["window_queries"])
+            self._queries_total = int(payload["queries_total"])
+            self._tenants = {
+                str(name): TenantUsage(**{
+                    key: value for key, value in usage.items()
+                    if key in known
+                })
+                for name, usage in payload["tenants"].items()
+            }
+
+    # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:

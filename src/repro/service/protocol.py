@@ -124,6 +124,32 @@ def specs_from_wire(schema: Schema, payloads) -> list[AnySpec]:
     return [spec_from_wire(schema, payload) for payload in payloads]
 
 
+def spec_to_wire(spec: AnySpec) -> dict:
+    """The wire description that rebuilds ``spec`` via :func:`spec_from_wire`.
+
+    Inverse of :func:`spec_from_wire` for every spec built by the factory
+    helpers of :mod:`repro.core.aggregates` (they record their own
+    ``wire_form``).  Specs carrying custom callables — a hand-built
+    ``AggregateSpec`` or a factory call with a residual ``selection``
+    predicate — have no wire description and raise
+    :class:`~repro.errors.WireFormatError`; ``Engine.save`` surfaces this
+    for tasks that cannot round-trip.
+    """
+    wire = getattr(spec, "wire_form", None)
+    if wire is None:
+        raise WireFormatError(
+            f"spec {getattr(spec, 'name', spec)!r} cannot cross the wire: "
+            "it was not built by a wire-capable aggregate factory (custom "
+            "callables are not serializable)"
+        )
+    return dict(wire)
+
+
+def specs_to_wire(specs) -> list[dict]:
+    """Wire descriptions of every spec (see :func:`spec_to_wire`)."""
+    return [spec_to_wire(spec) for spec in specs]
+
+
 # ----------------------------------------------------------------------
 # Wire-form machinery
 # ----------------------------------------------------------------------

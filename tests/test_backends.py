@@ -16,6 +16,7 @@ from hypothesis import strategies as st
 
 from repro import Attribute, HiddenDatabase, Schema, SchemaError, TopKInterface
 from repro.hiddendb import (
+    MappedBackend,
     PackedArrayBackend,
     ShardedBackend,
     available_backends,
@@ -29,7 +30,7 @@ from repro.hiddendb.query import ConjunctiveQuery
 from repro.hiddendb.store import SortedKeyList
 
 
-BACKENDS = ("blocked", "packed", "sharded")
+BACKENDS = ("blocked", "packed", "sharded", "mapped")
 
 
 # ----------------------------------------------------------------------
@@ -43,6 +44,7 @@ class TestRegistry:
         assert isinstance(make_backend("blocked"), SortedKeyList)
         assert isinstance(make_backend("packed"), PackedArrayBackend)
         assert isinstance(make_backend("sharded"), ShardedBackend)
+        assert isinstance(make_backend("mapped"), MappedBackend)
 
     def test_make_backend_options(self):
         sharded = make_backend("sharded", shards=3, inner="blocked")
@@ -218,6 +220,7 @@ def test_backends_agree_on_random_op_streams(operations):
         "blocked": make_backend("blocked", block_size=4),
         "packed": PackedArrayBackend(key_bound=64, min_buffer=8),
         "sharded": ShardedBackend(num_shards=3, key_bound=64, block_size=16),
+        "mapped": MappedBackend(key_bound=64, min_buffer=8),
     }
     reference: list[int] = []
     for is_remove, value in operations:
@@ -296,7 +299,7 @@ def test_backend_parity_on_seeded_churn_workload():
     by score) must match tuple for tuple — any divergence is a backend bug.
     """
     blocked = _seeded_churn("blocked")
-    for name in ("packed", "sharded"):
+    for name in ("packed", "sharded", "mapped"):
         other = _seeded_churn(name)
         assert blocked[2] == other[2], name  # database size
         assert blocked[1] == other[1], name  # prefix counts
@@ -316,6 +319,8 @@ class TestArrayBulkPaths:
             return SortedKeyList()
         if name == "sharded":
             return ShardedBackend(num_shards=4, key_bound=2**40)
+        if name == "mapped":
+            return MappedBackend(key_bound=2**40)
         return PackedArrayBackend(key_bound=2**40)
 
     @pytest.mark.parametrize("name", BACKENDS)

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Docs consistency gate: broken links and drifted CLI flags fail CI.
+
+Two checks, both over the repo's markdown tree (``README.md``,
+``docs/*.md``, ``ROADMAP.md``, ``CHANGES.md``):
+
+1. **Intra-repo links.**  Every relative markdown link target
+   (``[text](path)``) must exist on disk, resolved against the linking
+   file.  External links (``http(s)://``, ``mailto:``), pure anchors
+   (``#section``), and GitHub-web-relative links that escape the repo
+   root (the README's ``../../actions/...`` badge) are skipped.
+
+2. **CLI flag sync.**  ``docs/operations.md`` documents the
+   ``repro-serve`` command line; every ``--flag`` it mentions must exist
+   in :func:`repro.service.cli.build_parser`, and every parser flag must
+   be mentioned in the doc — so the operations guide cannot drift from
+   the binary in either direction.
+
+Usage::
+
+    python tools/check_docs.py          # exit 0 clean, 1 with findings
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OPERATIONS_DOC = REPO_ROOT / "docs" / "operations.md"
+
+# [text](target) — target captured up to the closing paren; images share
+# the same syntax with a leading "!", which the pattern also matches.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FLAG = re.compile(r"(--[a-z][a-z0-9-]*)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _markdown_files() -> list[Path]:
+    files = [
+        path for path in (REPO_ROOT / "docs").glob("*.md")
+    ] + [
+        REPO_ROOT / name
+        for name in ("README.md", "ROADMAP.md", "CHANGES.md")
+        if (REPO_ROOT / name).exists()
+    ]
+    return sorted(files)
+
+
+def check_links(files: list[Path]) -> list[str]:
+    problems: list[str] = []
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.is_relative_to(REPO_ROOT):
+                continue  # GitHub-web-relative (badge links etc.)
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}: broken link "
+                    f"-> {target}"
+                )
+    return problems
+
+
+def _parser_flags() -> set[str]:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.service.cli import build_parser
+
+    flags: set[str] = set()
+    for action in build_parser()._actions:  # noqa: SLF001 - introspection
+        flags.update(
+            opt for opt in action.option_strings if opt.startswith("--")
+        )
+    flags.discard("--help")
+    return flags
+
+
+def check_flags() -> list[str]:
+    if not OPERATIONS_DOC.exists():
+        return [f"missing {OPERATIONS_DOC.relative_to(REPO_ROOT)}"]
+    documented = set(
+        _FLAG.findall(OPERATIONS_DOC.read_text(encoding="utf-8"))
+    )
+    actual = _parser_flags()
+    problems = [
+        f"docs/operations.md documents unknown repro-serve flag: {flag}"
+        for flag in sorted(documented - actual)
+    ] + [
+        f"repro-serve flag missing from docs/operations.md: {flag}"
+        for flag in sorted(actual - documented)
+    ]
+    return problems
+
+
+def main() -> int:
+    files = _markdown_files()
+    problems = check_links(files) + check_flags()
+    for problem in problems:
+        print(f"check_docs: {problem}")
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)")
+        return 1
+    print(
+        f"check_docs: {len(files)} markdown files clean "
+        f"(links resolve, repro-serve flags in sync)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
