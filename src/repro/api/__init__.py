@@ -39,13 +39,14 @@ from ..hiddendb.store import (
     using_data_plane,
 )
 from .config import (
+    ROUND_EXECUTORS,
     SEED_POLICIES,
     EngineConfig,
     get_default_parallelism,
     set_default_parallelism,
     using_parallelism,
 )
-from .engine import Engine, EstimationTask, TaskHandle
+from .engine import GAP_TASK, Engine, EstimationTask, ReportGap, TaskHandle
 from .persistence import has_snapshot, load_engine, save_engine
 
 __all__ = [
@@ -53,6 +54,9 @@ __all__ = [
     "Engine",
     "EngineConfig",
     "EstimationTask",
+    "GAP_TASK",
+    "ROUND_EXECUTORS",
+    "ReportGap",
     "SEED_POLICIES",
     "TaskHandle",
     "has_snapshot",

@@ -48,6 +48,12 @@ from ..hiddendb.store import (
 #: a task does not pin one explicitly.
 SEED_POLICIES = ("per-task", "shared")
 
+#: Executors ``run_round`` can fan active tasks out to when
+#: ``parallelism > 1``: worker threads sharing the process (default), or
+#: forked worker processes handing estimator state back over the strict-JSON
+#: wire seam (POSIX fork platforms only).
+ROUND_EXECUTORS = ("thread", "fork")
+
 #: Process-wide default round parallelism (level 2 of the precedence
 #: order); configs with ``parallelism=None`` resolve against it.
 _default_parallelism = 1
@@ -120,6 +126,25 @@ class EngineConfig:
         dispatch width).  ``1`` = sequential; results are bit-identical
         either way.  ``None`` defers to the process default
         (:func:`set_default_parallelism`, built-in ``1``).
+    overlap:
+        Enable the HTAP epoch split: ``advance_round`` publishes an
+        immutable :class:`~repro.hiddendb.epoch.StoreEpoch` and
+        ``run_round`` pins every estimator to it, so ``apply_updates``
+        churn for the *next* round can run concurrently with this round's
+        queries instead of serializing behind the round barrier.
+        Estimates are bit-identical to sequential mode; the only
+        behavioral difference is visibility — mutations reach estimators
+        at the next publish flip rather than immediately.  Incompatible
+        with tasks that install ``on_query`` hooks (the intra-round
+        update model needs read-your-writes).
+    round_executor:
+        ``"thread"`` (default): round workers are threads.  ``"fork"``:
+        with ``parallelism > 1``, each active task runs in a forked
+        worker process against the fork-time copy-on-write snapshot and
+        hands its report + estimator state back over the
+        :mod:`repro.core.wire` strict-JSON seam.  Requires a platform
+        with ``fork`` (raises at round time otherwise); results remain
+        bit-identical.
     report_log_limit:
         Upper bound on retained reports: both the engine's execution-order
         log (drained by ``stream_reports()``) and each task's history on
@@ -146,6 +171,8 @@ class EngineConfig:
     block_size: int = DEFAULT_BLOCK_SIZE
     shards: int | None = None
     parallelism: int | None = None
+    overlap: bool = False
+    round_executor: str = "thread"
     report_log_limit: int | None = None
     store_dir: str | None = None
 
@@ -168,6 +195,11 @@ class EngineConfig:
             raise ExperimentError("parallelism must be at least 1")
         if self.report_log_limit is not None and self.report_log_limit < 1:
             raise ExperimentError("report_log_limit must be positive")
+        if self.round_executor not in ROUND_EXECUTORS:
+            raise ExperimentError(
+                f"unknown round executor {self.round_executor!r}; "
+                f"available: {', '.join(ROUND_EXECUTORS)}"
+            )
         if self.seed_policy not in SEED_POLICIES:
             raise ExperimentError(
                 f"unknown seed policy {self.seed_policy!r}; "

@@ -14,24 +14,39 @@ service boundary:
   its round over the shared store) → ``apply_updates()`` /
   ``advance_round()`` → repeat, with ``stream_reports()`` draining the
   report log;
-* two locks serialize the boundary: the *session lock* guards the task
+* three locks serialize the boundary: the *session lock* guards the task
   table and report log (``submit`` / ``cancel`` / ``stream_reports`` /
-  ``budget_ledger`` — always short critical sections), while the *round
-  barrier* guards store access (``run_round`` vs ``apply_updates`` /
-  ``load`` / ``advance_round``), so observers are never blocked behind a
-  long round and mutations can never interleave a round's reads;
-* within a round, tasks run over the round-static store — sequentially in
-  submission order, or fanned out to a worker pool
-  (``run_round(parallel=N)`` / ``EngineConfig.parallelism``).  Each task
-  owns its RNG, its interface counters, and its session, and the store is
-  read-concurrent (see :class:`~repro.hiddendb.store.TupleStore`), so the
-  parallel schedule is bit-identical to the sequential one; reports are
+  ``budget_ledger`` — always short critical sections); the *round
+  barrier* guards round execution (``run_round``); and the *write lock*
+  guards store mutation (``apply_updates`` / ``load`` /
+  ``advance_round``).  Sequentially (the default) writers take the round
+  barrier too, so the store is round-static exactly as the paper's round
+  model requires.  With ``EngineConfig(overlap=True)`` writers take only
+  the write lock: ``run_round`` pins every estimator to the published
+  :class:`~repro.hiddendb.epoch.StoreEpoch` (an immutable snapshot
+  flipped in atomically by ``advance_round``), so round-boundary churn
+  for round ``i+1`` overlaps round ``i``'s queries — the HTAP split.
+  Estimates stay bit-identical; only *visibility* changes (mutations
+  reach estimators at the next publish flip);
+* within a round, tasks run over the round-static store (or the pinned
+  epoch) — sequentially in submission order, or fanned out to a worker
+  pool (``run_round(parallel=N)`` / ``EngineConfig.parallelism``), as
+  threads or — ``EngineConfig(round_executor="fork")`` — as forked
+  worker processes that hand their report + estimator state back over
+  the :mod:`repro.core.wire` strict-JSON seam.  Each task owns its RNG,
+  its interface counters, and its session, and the store is
+  read-concurrent (see :class:`~repro.hiddendb.store.TupleStore`), so
+  every schedule is bit-identical to the sequential one; reports are
   merged in deterministic submission order either way (see
   ``tests/test_engine_concurrency.py``).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import multiprocessing
+import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
@@ -40,13 +55,33 @@ from typing import Callable, Iterator, Mapping, Sequence
 from ..core.aggregates import AnySpec
 from ..core.estimators.base import RoundReport
 from ..core.estimators.registry import EstimatorFactory, resolve_estimator
-from ..errors import DuplicateTaskError, ExperimentError, UnknownTaskError
-from ..hiddendb.database import HiddenDatabase
+from ..errors import (
+    DuplicateTaskError,
+    ExperimentError,
+    UnknownTaskError,
+    error_from_wire,
+    wire_error,
+)
+from ..hiddendb.database import HiddenDatabase, reading_epoch
+from ..hiddendb.epoch import StoreEpoch
 from ..hiddendb.interface import TopKInterface
 from ..hiddendb.ranking import RankingPolicy
 from ..hiddendb.schema import Schema
 from ..hiddendb.store import get_data_plane, overriding_data_plane
 from .config import EngineConfig
+
+#: Task-name slot of the truncation markers ``stream_reports()`` yields
+#: when ``report_log_limit`` eviction opened a gap in the replayed log.
+GAP_TASK = "__gap__"
+
+
+@dataclasses.dataclass(frozen=True)
+class ReportGap:
+    """A truncation marker in the report stream: ``dropped`` reports were
+    evicted (``report_log_limit``) between the previous yielded entry and
+    the next one — the log is *not* contiguous across this marker."""
+
+    dropped: int
 
 
 
@@ -294,13 +329,17 @@ class Engine:
         #: so ``stream_reports()`` / ``budget_ledger()`` from other
         #: threads respond while a long round is in flight.
         self._lock = threading.RLock()
-        #: Round barrier: store access.  ``run_round`` holds it while its
-        #: tasks read the store; ``apply_updates`` / ``load`` /
-        #: ``advance_round`` hold it while mutating, so the store is
-        #: round-static exactly as the paper's round model requires.
-        #: Reentrant so an ``apply_updates`` callback may call
-        #: ``advance_round`` itself.
+        #: Round barrier: round execution.  ``run_round`` holds it while
+        #: its tasks read; sequentially (``overlap=False``) writers hold
+        #: it too, so the store is round-static exactly as the paper's
+        #: round model requires.  Reentrant so an ``apply_updates``
+        #: callback may call ``advance_round`` itself.
         self._round_lock = threading.RLock()
+        #: Write lock: store mutation + epoch publish.  In overlap mode
+        #: writers take *only* this lock (reads ride the published epoch,
+        #: so churn no longer waits for the round barrier).  Lock order
+        #: where both are held: round barrier first, then write lock.
+        self._write_lock = threading.RLock()
         self._tasks: dict[str, TaskHandle] = {}
         #: Execution log: ``(task name, report)`` in the order produced,
         #: bounded by ``config.report_log_limit`` (oldest entries drop).
@@ -329,6 +368,20 @@ class Engine:
         (ContextVars do not cross thread boundaries).
         """
         with self._round_lock, overriding_data_plane(self.config.data_plane):
+            yield
+
+    @contextmanager
+    def _write_scoped(self):
+        """The writer scope plus this engine's context-local plane pin.
+
+        Sequential mode: the round barrier (writers and rounds exclude
+        each other — the store stays round-static).  Overlap mode: the
+        write lock only, so ``apply_updates`` / ``load`` run concurrently
+        with an epoch-pinned round and serialize just against each other
+        and the publish flip.
+        """
+        lock = self._write_lock if self.config.overlap else self._round_lock
+        with lock, overriding_data_plane(self.config.data_plane):
             yield
 
     # ------------------------------------------------------------------
@@ -365,7 +418,7 @@ class Engine:
     def _load_rows(self, rows) -> int:
         """Bulk-load tuples into the shared database (``engine.load(...)``
         on an instance — see :class:`_LoadName`); returns rows inserted."""
-        with self._scoped():
+        with self._write_scoped():
             return self.db.insert_many(rows)
 
     class _LoadName:
@@ -403,11 +456,14 @@ class Engine:
         """Snapshot this engine atomically; returns the manifest.
 
         ``path`` defaults to the config's ``store_dir``.  The snapshot is
-        taken under both engine locks, so it observes a quiescent point
-        between rounds and mutations; ``extra`` (JSON values only) rides
-        along and is handed back by :func:`repro.api.persistence
-        .load_engine`.  Crash-safe: the previous committed snapshot stays
-        readable until the new manifest is atomically renamed in.
+        taken under all three engine locks — even in overlap mode, where
+        a snapshot needs full quiescence (estimator state and store must
+        agree; a mid-round epoch would pair post-round estimators with a
+        pre-round store) — so it observes a quiescent point between
+        rounds and mutations; ``extra`` (JSON values only) rides along
+        and is handed back by :func:`repro.api.persistence.load_engine`.
+        Crash-safe: the previous committed snapshot stays readable until
+        the new manifest is atomically renamed in.
         """
         from .persistence import save_engine
 
@@ -417,21 +473,36 @@ class Engine:
             raise ExperimentError(
                 "Engine.save needs a path (or a config with store_dir set)"
             )
-        with self._scoped(), self._lock:
+        with self._scoped(), self._write_lock, self._lock:
             return save_engine(self, path, extra=extra)
 
     def apply_updates(
         self, mutate: Callable[[HiddenDatabase], None]
     ) -> None:
-        """Run a mutation function against the shared database, serialized
-        with every estimation session."""
-        with self._scoped():
+        """Run a mutation function against the shared database.
+
+        Sequentially, serialized with every estimation session (the
+        round barrier).  In overlap mode, serialized only with other
+        writers: churn lands on the live store while a round reads the
+        published epoch, and becomes visible to estimators at the next
+        ``advance_round`` publish flip.
+        """
+        with self._write_scoped():
             mutate(self.db)
 
     def advance_round(self) -> int:
-        """Start the next round and return its index."""
-        with self._round_lock:
-            return self.db.advance_round()
+        """Start the next round and return its index.
+
+        In overlap mode this is also the atomic publish flip: the live
+        store (with all churn applied so far) is frozen into a new
+        :class:`~repro.hiddendb.epoch.StoreEpoch` and installed as the
+        version the next ``run_round`` pins its estimators to.
+        """
+        with self._write_scoped():
+            round_index = self.db.advance_round()
+            if self.config.overlap:
+                self.db.publish_epoch()
+            return round_index
 
     # ------------------------------------------------------------------
     # Task lifecycle
@@ -442,11 +513,12 @@ class Engine:
         The task gets its own :class:`TopKInterface` (per-tenant budget
         accounting and query counters) bound to the shared database.
 
-        Holds the round barrier (estimator construction may build and
-        backfill indexes over the shared store) and then the session lock
-        for the table insert — always in that order.
+        Holds the writer scope (estimator construction may build and
+        backfill indexes over the shared store — the round barrier
+        sequentially, the write lock in overlap mode) and then the
+        session lock for the table insert — always in that order.
         """
-        with self._scoped(), self._lock:
+        with self._write_scoped(), self._lock:
             if task.name in self._tasks:
                 raise DuplicateTaskError(task.name)
             factory = resolve_estimator(task.estimator)
@@ -477,17 +549,107 @@ class Engine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _run_estimator(self, handle: TaskHandle, plane: str) -> RoundReport:
-        """One task's round, pinned to the round's resolved data plane.
+    def _run_estimator(
+        self,
+        handle: TaskHandle,
+        plane: str,
+        epoch: StoreEpoch | None = None,
+    ) -> RoundReport:
+        """One task's round, pinned to the round's resolved data plane
+        (and, in overlap mode, to the round's published epoch).
 
         ``plane`` is captured on the calling thread *after* every override
         is in scope (engine pin > caller's context-local override >
         process default), because worker threads do not inherit the
         submitting thread's ContextVars — without the explicit pin a
-        parallel round would silently drop a caller-scoped plane.
+        parallel round would silently drop a caller-scoped plane.  The
+        epoch pin is a ContextVar too, hence re-established here for the
+        same reason.
         """
         with overriding_data_plane(plane):
-            return handle.estimator.run_round()
+            if epoch is None:
+                return handle.estimator.run_round()
+            with reading_epoch(self.db, epoch):
+                return handle.estimator.run_round()
+
+    def _forked_round_main(self, handle, plane, epoch, conn) -> None:
+        """Entry point of one forked round worker (runs in the child).
+
+        Sends either ``{"report", "estimator"}`` (both strict-JSON, the
+        :mod:`repro.core.wire` seam) or ``{"error"}`` over the pipe, then
+        exits via ``os._exit`` — skipping interpreter teardown so the
+        child's copies of weakref finalizers (e.g. the mapped backend's
+        run-directory cleanup) can never touch state shared with the
+        parent.
+        """
+        try:
+            try:
+                report = self._run_estimator(handle, plane, epoch)
+                payload = {
+                    "report": report.to_dict(),
+                    "estimator": handle.estimator.state_to_wire(),
+                }
+            except BaseException as exc:
+                payload = {"error": wire_error(exc)}
+            conn.send_bytes(json.dumps(payload).encode("utf-8"))
+            conn.close()
+        finally:
+            os._exit(0)
+
+    def _run_round_forked(
+        self, selected, plane, epoch, workers
+    ) -> list[RoundReport | BaseException]:
+        """Fan the round out to forked worker processes, in waves of
+        ``workers``.
+
+        Each child runs its task against the fork-time copy-on-write
+        snapshot of the store and hands report + estimator state back as
+        strict JSON; the parent adopts the state
+        (:meth:`~repro.core.estimators.base.Estimator.restore_state`), so
+        the next round continues bit-identically to an in-process run.
+        """
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            raise ExperimentError(
+                "round_executor='fork' needs a platform with fork "
+                "(POSIX); use the thread executor here"
+            ) from None
+        produced: list[RoundReport | BaseException] = [None] * len(selected)
+        indexed = list(enumerate(selected))
+        for start in range(0, len(indexed), workers):
+            running = []
+            for index, handle in indexed[start:start + workers]:
+                receiver, sender = ctx.Pipe(duplex=False)
+                worker = ctx.Process(
+                    target=self._forked_round_main,
+                    args=(handle, plane, epoch, sender),
+                    daemon=True,
+                )
+                worker.start()
+                sender.close()
+                running.append((index, handle, worker, receiver))
+            for index, handle, worker, receiver in running:
+                try:
+                    data = receiver.recv_bytes()
+                except EOFError:
+                    data = None
+                worker.join()
+                receiver.close()
+                if data is None:
+                    produced[index] = ExperimentError(
+                        f"forked round worker for task {handle.name!r} "
+                        f"died without reporting "
+                        f"(exit code {worker.exitcode})"
+                    )
+                    continue
+                payload = json.loads(data.decode("utf-8"))
+                if "error" in payload:
+                    produced[index] = error_from_wire(payload["error"])
+                    continue
+                handle.estimator.restore_state(payload["estimator"])
+                produced[index] = RoundReport.from_dict(payload["report"])
+        return produced
 
     def run_round(
         self,
@@ -505,11 +667,14 @@ class Engine:
         the store honors the reader-concurrency contract — and reports
         are recorded in deterministic submission order either way.
 
-        The round barrier is held for the duration (mutations wait), but
-        the session lock is only taken for the initial task snapshot and
-        the final report merge, so ``stream_reports()`` and
-        ``budget_ledger()`` from other threads stay responsive during a
-        long round.  Returns ``{task name: report}``.
+        The round barrier is held for the duration — sequentially that
+        makes mutations wait; in overlap mode estimators are pinned to
+        the published epoch instead, so ``apply_updates`` churn proceeds
+        concurrently (only other rounds and ``save`` wait).  The session
+        lock is only taken for the initial task snapshot and the final
+        report merge, so ``stream_reports()`` and ``budget_ledger()``
+        from other threads stay responsive during a long round.  Returns
+        ``{task name: report}``.
         """
         with self._scoped():
             # The effective plane, with every override already in scope
@@ -528,16 +693,38 @@ class Engine:
             )
             if workers < 1:
                 raise ExperimentError("parallel must be at least 1")
+            hooked = any(
+                getattr(handle.estimator, "on_query", None) is not None
+                for handle in selected
+            )
+            epoch: StoreEpoch | None = None
+            if self.config.overlap:
+                if hooked:
+                    # The intra-round update driver needs its mutations
+                    # visible to the very next query — epoch pinning
+                    # defers visibility to the next publish flip.
+                    raise ExperimentError(
+                        "overlap mode cannot serve estimators with an "
+                        "on_query mutation hook (intra-round update "
+                        "model needs read-your-writes)"
+                    )
+                epoch = self.db.published
+                if epoch is None:
+                    # First round before any advance: publish lazily.
+                    # Briefly take the write lock — a concurrent
+                    # apply_updates must not churn mid-freeze.  (Lock
+                    # order: round barrier, already held, then write.)
+                    with self._write_lock:
+                        epoch = self.db.published
+                        if epoch is None:
+                            epoch = self.db.publish_epoch()
             # Outcomes are RoundReports or the exception a task raised;
             # completed tasks' reports are recorded either way (their
             # budget was spent and their RNG advanced — dropping them
             # would desync the ledger from actual interface usage).
             produced: list[RoundReport | BaseException] = []
             if workers > 1 and len(selected) > 1:
-                if any(
-                    getattr(handle.estimator, "on_query", None) is not None
-                    for handle in selected
-                ):
+                if hooked:
                     # The intra-round update driver mutates the store
                     # between queries — incompatible with concurrent
                     # readers.  (A single hooked task runs sequentially
@@ -547,24 +734,31 @@ class Engine:
                         "with an on_query mutation hook (intra-round "
                         "update model)"
                     )
-                with ThreadPoolExecutor(
-                    max_workers=min(workers, len(selected)),
-                    thread_name_prefix="repro-round",
-                ) as pool:
-                    futures = [
-                        pool.submit(self._run_estimator, handle, plane)
-                        for handle in selected
-                    ]
-                    for future in futures:
-                        try:
-                            produced.append(future.result())
-                        except BaseException as exc:
-                            produced.append(exc)
+                if self.config.round_executor == "fork":
+                    produced = self._run_round_forked(
+                        selected, plane, epoch, workers
+                    )
+                else:
+                    with ThreadPoolExecutor(
+                        max_workers=min(workers, len(selected)),
+                        thread_name_prefix="repro-round",
+                    ) as pool:
+                        futures = [
+                            pool.submit(
+                                self._run_estimator, handle, plane, epoch
+                            )
+                            for handle in selected
+                        ]
+                        for future in futures:
+                            try:
+                                produced.append(future.result())
+                            except BaseException as exc:
+                                produced.append(exc)
             else:
                 for handle in selected:
                     try:
                         produced.append(
-                            self._run_estimator(handle, plane)
+                            self._run_estimator(handle, plane, epoch)
                         )
                     except BaseException as exc:
                         # Sequential semantics: later tasks do not run
@@ -601,17 +795,29 @@ class Engine:
         — including reports appended by other threads while iterating —
         then stops.  Safe to call again later; it always starts from the
         oldest retained entry.
+
+        Wherever eviction opened a gap — reports already dropped when the
+        stream started, or dropped mid-iteration under a fast producer —
+        the stream yields a ``(GAP_TASK, ReportGap(dropped))`` marker
+        (never silently replaying a gapped log as if it were contiguous).
+        Markers are yielded even under a ``task`` filter: the filter
+        cannot know whether dropped entries matched.
         """
         index = 0
         while True:
             with self._lock:
-                index = max(index, self._log_start)
-                if index - self._log_start >= len(self._log):
+                if index < self._log_start:
+                    dropped = self._log_start - index
+                    index = self._log_start
+                    entry = (GAP_TASK, ReportGap(dropped))
+                elif index - self._log_start >= len(self._log):
                     return
-                name, report = self._log[index - self._log_start]
-            index += 1
-            if task is None or task == name:
-                yield name, report
+                else:
+                    entry = self._log[index - self._log_start]
+                    index += 1
+            name, report = entry
+            if name == GAP_TASK or task is None or task == name:
+                yield entry
 
     # ------------------------------------------------------------------
     # Accounting

@@ -92,9 +92,14 @@ _LIMB_MASK = (1 << _LIMB_BITS) - 1
 #: bounding the transient object arrays they allocate.
 _CHUNK = 8192
 
-#: Largest modulus the vectorized limb-Horner reduction supports (the
-#: 16-bit-digit modular multiply stays exact in uint64 below this).
+#: Largest modulus the 16-bit-digit modular multiply stays exact in
+#: uint64 for; moduli in ``[2**48, 2**63)`` switch to the double-and-add
+#: multiply (:func:`_mulmod_big_vec`).
 _MOD_MANY_BOUND = 1 << 48
+
+#: Keys in range before a sharded ``range_keys`` fans the per-shard scans
+#: out to a thread pool; below this the pool start-up dominates.
+_PARALLEL_SCAN_MIN = 4096
 
 
 def _mulmod_scalar_vec(
@@ -121,6 +126,33 @@ def _mulmod_scalar_vec(
             out = (values * np.uint64(digit)) % m
             started = True
     return out
+
+
+def _mulmod_big_vec(
+    values: np.ndarray, factor: int, modulus: int
+) -> np.ndarray:
+    """``(values * factor) % modulus`` exactly, for uint64 ``values`` and
+    a scalar ``factor``, both already reduced mod ``modulus < 2**63``.
+
+    The digit split of :func:`_mulmod_scalar_vec` stops being exact once
+    ``modulus`` reaches 2**48, so this band multiplies by binary
+    double-and-add instead: every intermediate stays below ``modulus``,
+    which keeps both the doubling (``2 * acc < 2**64``) and the
+    conditional add (``acc + values < 2**64``) exact in uint64.  Costs
+    ~2 vector ops per factor bit — fine for the rare non-power-of-two
+    ``tid_span`` configurations that reach it.
+    """
+    m = np.uint64(modulus)
+    one = np.uint64(1)
+    acc = np.zeros_like(values)
+    started = False
+    for bit in bin(factor)[2:]:
+        if started:
+            acc = (acc << one) % m
+        if bit == "1":
+            acc = (acc + values) % m
+            started = True
+    return acc
 
 
 def _object_chunks(keys: Sequence[int]) -> Iterator[np.ndarray]:
@@ -151,10 +183,12 @@ def mod_many(keys, modulus: int) -> np.ndarray:
     per limb instead of a Python-bytecode loop per key), and recombined
     with an exact modular Horner evaluation.  Power-of-two moduli — the
     default ``tid_span`` is ``2**48`` — reduce to a single masked low
-    limb.  Moduli in ``[2**48, 2**63]`` that are not powers of two fall
-    back to the scalar loop (the uint64 Horner cannot carry them
-    exactly); above ``2**63`` the remainders themselves stop fitting the
-    int64 result vector, so the modulus is rejected outright.
+    limb.  Non-power-of-two moduli pick the modular multiply that stays
+    exact for their size: 16-bit digit splitting below ``2**48``
+    (:func:`_mulmod_scalar_vec`), binary double-and-add for
+    ``[2**48, 2**63)`` (:func:`_mulmod_big_vec`).  Above ``2**63`` the
+    remainders themselves stop fitting the int64 result vector, so the
+    modulus is rejected outright.
 
     Parity with the scalar loop is property-tested
     (``tests/test_wide_key_vectorization.py``).
@@ -176,10 +210,9 @@ def mod_many(keys, modulus: int) -> np.ndarray:
     if n == 0:
         return out
     power_of_two = modulus & (modulus - 1) == 0
-    if not power_of_two and modulus >= _MOD_MANY_BOUND:
-        # Rare configuration (tid_span is a power of two everywhere in the
-        # repo): exactness over speed.
-        return np.fromiter((key % modulus for key in keys), np.int64, count=n)
+    mulmod = (
+        _mulmod_scalar_vec if modulus < _MOD_MANY_BOUND else _mulmod_big_vec
+    )
     position = 0
     base_mod = pow(2, _LIMB_BITS, modulus) if not power_of_two else 0
     for chunk in _object_chunks(keys):
@@ -199,7 +232,7 @@ def mod_many(keys, modulus: int) -> np.ndarray:
             acc = np.zeros(len(chunk), dtype=np.uint64)
             m = np.uint64(modulus)
             for limb in reversed(limbs):
-                acc = _mulmod_scalar_vec(acc, base_mod, modulus)
+                acc = mulmod(acc, base_mod, modulus)
                 acc = (acc + limb.astype(np.uint64) % m) % m
             out[position:stop] = acc.astype(np.int64)
         position = stop
@@ -396,12 +429,18 @@ class PackedArrayBackend:
 
     def _compact(self) -> None:
         """Merge the tail into the run and drop dead keys (O(n))."""
-        if self._tail or self._dead:
-            self._install_run(
-                list(heap_merge(self._iter_live_run(), self._tail))
-            )
-            self._tail = []
-            self._dead = []
+        if not (self._tail or self._dead):
+            return
+        if self._packed:
+            # One vectorized multiset-subtract + concatenate-sort instead
+            # of a per-key Python heap walk over the whole run.
+            self._replace_run(self._live_array())
+            return
+        self._install_run(
+            list(heap_merge(self._iter_live_run(), self._tail))
+        )
+        self._tail = []
+        self._dead = []
 
     def add(self, key: int) -> None:
         """Insert ``key`` keeping order; duplicates are allowed."""
@@ -616,6 +655,44 @@ class PackedArrayBackend:
     def __iter__(self) -> Iterator[int]:
         yield from heap_merge(self._iter_live_run(), list(self._tail))
 
+    def _snapshot_view(self):
+        """A point-in-time clone for frozen reads: the (immutable) run is
+        shared by reference, the small tail/dead buffers are copied, and
+        the rank cache starts fresh.  Reads on the clone run the exact
+        live query code over state that can never change."""
+        clone = object.__new__(type(self))
+        for name in self.__slots__:
+            if name == "__weakref__":
+                continue
+            setattr(clone, name, getattr(self, name))
+        clone._tail = list(self._tail)
+        clone._dead = list(self._dead)
+        clone._rank_cache = {}
+        return clone
+
+    def freeze(self):
+        """An immutable snapshot view of the current multiset contents.
+
+        With clean buffers the frozen view references the sorted run *by
+        reference*: mutations never touch an installed run in place
+        (``_install_run`` / ``_replace_run`` build fresh ones), so the
+        view stays a valid snapshot forever at zero copy cost — the
+        property the epoch publish flip relies on.  With buffered churn
+        pending, the view wraps a clone that shares the run and copies
+        only the small tail/dead buffers — a publish flip costs O(churn),
+        never O(n), exactly like the live lazy-merge read path.
+        """
+        from .epoch import FrozenBuffered, FrozenRun
+
+        if self._tail or self._dead:
+            return FrozenBuffered(self._snapshot_view())
+        return FrozenRun(
+            self._run,
+            run_hi=self._run_hi,
+            hi_shift=self._hi_shift,
+            key_bound=self._key_bound,
+        )
+
     def check_invariants(self) -> None:
         """Validate internal structure (used by property tests)."""
         run = list(self._run)
@@ -648,13 +725,14 @@ class ShardedBackend:
     the per-shard sorted slices (one ``np.sort`` over the concatenated
     int64 slices when every shard hands back an array).
 
-    ``workers > 1`` dispatches per-shard *bulk* mutations to a lazily
-    created thread pool.  The inner engines are fully independent — a key
-    maps to exactly one shard — and the per-shard work is dominated by
-    numpy sorts and searchsorted passes, which release the GIL, so shard
-    merges genuinely overlap on multi-core hosts.  Reads follow the
-    module-level reader-concurrency contract; the pool is used only
-    inside externally-serialized mutations, never by readers.
+    ``workers > 1`` dispatches per-shard *bulk* mutations — and, since
+    the HTAP epoch split, wide ``range_keys`` scans — to an ephemeral
+    thread pool.  The inner engines are fully independent — a key maps to
+    exactly one shard — and the per-shard work is dominated by numpy
+    sorts and searchsorted passes, which release the GIL, so shard merges
+    and scans genuinely overlap on multi-core hosts.  Reads follow the
+    module-level reader-concurrency contract; scan pools live only for
+    one call and never share mutable state across shards.
     """
 
     __slots__ = ("_shards", "num_shards", "inner_name", "_size",
@@ -837,19 +915,48 @@ class ShardedBackend:
             *(shard.iter_range(lo, hi) for shard in self._shards)
         )
 
+    def _scan_shards(self, lo: int, hi: int) -> list:
+        """Per-shard ``range_keys`` slices, fanned out to a pool when the
+        range is wide enough to amortize thread start-up.
+
+        Read-only: each worker touches exactly one shard, and the
+        two-rank ``count_range`` gate only feeds the add-only rank cache
+        (safe under the GIL per the module's reader-concurrency
+        contract), so concurrent readers may scan in parallel too.
+        """
+        if (
+            self._workers > 1
+            and self.num_shards > 1
+            and self.count_range(lo, hi) >= _PARALLEL_SCAN_MIN
+        ):
+            with ThreadPoolExecutor(
+                max_workers=min(self._workers, self.num_shards),
+                thread_name_prefix="repro-scan",
+            ) as pool:
+                return list(
+                    pool.map(
+                        lambda shard: shard.range_keys(lo, hi),
+                        self._shards,
+                    )
+                )
+        return [shard.range_keys(lo, hi) for shard in self._shards]
+
     def range_keys(self, lo: int, hi: int) -> "np.ndarray | list[int]":
         """Keys in ``[lo, hi)`` as one sorted vector.
 
         Merges the per-shard sorted run slices: int64 slices concatenate
         and sort in C; mixed or wide-key slices fall back to a heap merge
-        with identical contents.
+        with identical contents.  With ``workers > 1`` configured and at
+        least :data:`_PARALLEL_SCAN_MIN` keys in range, the per-shard
+        slice extraction fans out to an ephemeral thread pool — slicing
+        is read-only on independent shards and dominated by searchsorted
+        and copy work that releases the GIL, so wide analytical scans
+        genuinely overlap (the merge itself stays single-threaded).
         """
         if hi <= lo:
             slices = []
         else:
-            slices = [
-                shard.range_keys(lo, hi) for shard in self._shards
-            ]
+            slices = self._scan_shards(lo, hi)
             slices = [part for part in slices if len(part)]
         if not slices:
             first = self._shards[0].range_keys(0, 0)
@@ -868,6 +975,21 @@ class ShardedBackend:
 
     def __iter__(self) -> Iterator[int]:
         return heap_merge(*(iter(shard) for shard in self._shards))
+
+    def freeze(self):
+        """An immutable snapshot view preserving the shard partition.
+
+        Each inner engine freezes independently (zero-copy for packed
+        inners), and the frozen composite keeps the shard structure so
+        epoch-pinned analytical scans can still fan out per shard.
+        """
+        from .epoch import FrozenSharded, freeze_backend
+
+        return FrozenSharded(
+            [freeze_backend(shard) for shard in self._shards],
+            num_shards=self.num_shards,
+            workers=self._workers,
+        )
 
     def check_invariants(self) -> None:
         """Validate shard placement, sizes, and every inner engine."""

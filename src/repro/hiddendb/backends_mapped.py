@@ -57,6 +57,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from ..errors import ExperimentError
 from .backends import (
     _CHUNK,
     _INT64_MAX,
@@ -83,6 +84,43 @@ def limb_count(key_bound: int) -> int:
     """Limbs needed for keys in ``[0, key_bound)`` (``key_bound > 2**63``)."""
     bits = max(int(key_bound) - 1, 1).bit_length()
     return max(1, (bits + LIMB_BITS - 1) // LIMB_BITS)
+
+
+def _recombine_rows(rows: np.ndarray, limbs: int) -> list[int]:
+    """Limb-matrix rows back to Python ints (inverse of ``_limb_matrix``)."""
+    if not len(rows):
+        return []
+    acc = rows[:, 0].astype(object)
+    for column in range(1, limbs):
+        acc = (acc << LIMB_BITS) | rows[:, column].astype(object)
+    return acc.tolist()
+
+
+def _window_of(run: np.ndarray, limbs: int, key: int) -> tuple[int, int]:
+    """Equal range ``[lo, hi)`` of a wide key in a limb-matrix run.
+
+    One ``np.searchsorted`` per limb column narrows the window; the
+    fixed-width most-significant-first layout makes each narrowing exact
+    (truncating a key to its leading limbs is monotone).
+    """
+    lo, hi = 0, len(run)
+    if key < 0:
+        return 0, 0
+    if key >> (LIMB_BITS * limbs):
+        return hi, hi
+    key_limbs = [0] * limbs
+    remaining = key
+    for position in range(limbs - 1, -1, -1):
+        key_limbs[position] = remaining & LIMB_MASK
+        remaining >>= LIMB_BITS
+    for column, limb in enumerate(key_limbs):
+        window = run[lo:hi, column]
+        offset = lo
+        lo = offset + int(np.searchsorted(window, limb, side="left"))
+        hi = offset + int(np.searchsorted(window, limb, side="right"))
+        if lo == hi:
+            break
+    return lo, hi
 
 
 class MappedBackend:
@@ -180,12 +218,7 @@ class MappedBackend:
 
     def _recombine(self, rows: np.ndarray) -> list[int]:
         """Limb-matrix rows back to Python ints (inverse of the above)."""
-        if not len(rows):
-            return []
-        acc = rows[:, 0].astype(object)
-        for column in range(1, self._limbs):
-            acc = (acc << LIMB_BITS) | rows[:, column].astype(object)
-        return acc.tolist()
+        return _recombine_rows(rows, self._limbs)
 
     def _install_run(self, sorted_keys) -> None:
         """Replace the run file with the given sorted contents."""
@@ -239,31 +272,9 @@ class MappedBackend:
         return self._run_window(key)[0 if side == "left" else 1]
 
     def _run_window(self, key: int) -> tuple[int, int]:
-        """Equal range ``[lo, hi)`` of a wide key in the limb-matrix run.
-
-        One ``np.searchsorted`` per limb column narrows the window; the
-        fixed-width most-significant-first layout makes each narrowing
-        exact (truncating a key to its leading limbs is monotone).
-        """
-        run = self._run
-        lo, hi = 0, len(run)
-        if key < 0:
-            return 0, 0
-        if key >> (LIMB_BITS * self._limbs):
-            return hi, hi
-        limbs = [0] * self._limbs
-        remaining = key
-        for position in range(self._limbs - 1, -1, -1):
-            limbs[position] = remaining & LIMB_MASK
-            remaining >>= LIMB_BITS
-        for column, limb in enumerate(limbs):
-            window = run[lo:hi, column]
-            offset = lo
-            lo = offset + int(np.searchsorted(window, limb, side="left"))
-            hi = offset + int(np.searchsorted(window, limb, side="right"))
-            if lo == hi:
-                break
-        return lo, hi
+        """Equal range ``[lo, hi)`` of a wide key in the limb-matrix run
+        (see :func:`_window_of`)."""
+        return _window_of(self._run, self._limbs, key)
 
     def _iter_run_keys(
         self, start: int = 0, stop: int | None = None
@@ -312,12 +323,18 @@ class MappedBackend:
 
     def _compact(self) -> None:
         """Merge the buffers into a fresh fsynced run file (O(n))."""
-        if self._tail or self._dead:
-            self._install_run(
-                list(heap_merge(self._iter_live_run(), self._tail))
-            )
-            self._tail = []
-            self._dead = []
+        if not (self._tail or self._dead):
+            return
+        if self._packed:
+            # One vectorized multiset-subtract + concatenate-sort instead
+            # of a per-key Python heap walk over the whole run.
+            self._replace_run(self._live_array())
+            return
+        self._install_run(
+            list(heap_merge(self._iter_live_run(), self._tail))
+        )
+        self._tail = []
+        self._dead = []
 
     def add(self, key: int) -> None:
         """Insert ``key`` keeping order; duplicates are allowed."""
@@ -504,6 +521,41 @@ class MappedBackend:
     def __iter__(self) -> Iterator[int]:
         yield from heap_merge(self._iter_live_run(), list(self._tail))
 
+    def _snapshot_view(self):
+        """A point-in-time clone for frozen reads: the mapped run (and
+        its fd) is shared by reference — it survives any later compaction
+        because runs are replaced, never mutated, and an unlinked mapping
+        lives until released — the small tail/dead buffers are copied,
+        and the rank cache starts fresh."""
+        clone = object.__new__(type(self))
+        for name in self.__slots__:
+            if name == "__weakref__":
+                continue
+            setattr(clone, name, getattr(self, name))
+        clone._tail = list(self._tail)
+        clone._dead = list(self._dead)
+        clone._rank_cache = {}
+        return clone
+
+    def freeze(self):
+        """An immutable snapshot view of the current multiset contents.
+
+        With clean buffers the frozen view references the mapped run
+        *directly* — zero copy, no file I/O — and stays valid across
+        every future compaction (runs are replaced, never mutated, and an
+        unlinked mapping survives until the view is released).  With
+        buffered churn pending, the view wraps a clone that shares the
+        mapped run and copies only the small tail/dead buffers — a
+        publish flip never rewrites the run file.
+        """
+        from .epoch import FrozenBuffered, FrozenRun
+
+        if self._tail or self._dead:
+            return FrozenBuffered(self._snapshot_view())
+        if self._packed:
+            return FrozenRun(np.asarray(self._run, dtype=np.int64))
+        return _FrozenMappedRun(self._run, self._limbs)
+
     def check_invariants(self) -> None:
         """Validate internal structure (used by property tests)."""
         run = list(self._iter_run_keys())
@@ -534,6 +586,69 @@ class MappedBackend:
         return (
             f"MappedBackend(n={self._size}, layout={layout}, "
             f"dir={self.directory!r})"
+        )
+
+
+class _FrozenMappedRun:
+    """Immutable read view over a wide-key limb-matrix run.
+
+    Holds a direct reference to the (n, limbs) memory mapping captured at
+    freeze time; the mapping stays readable after the backing file is
+    unlinked by later compactions, so the view never observes new writes.
+    """
+
+    __slots__ = ("_run", "_limbs")
+
+    def __init__(self, run: np.ndarray, limbs: int) -> None:
+        self._run = run
+        self._limbs = int(limbs)
+
+    def __len__(self) -> int:
+        return len(self._run)
+
+    def rank(self, key: int) -> int:
+        return _window_of(self._run, self._limbs, key)[0]
+
+    def count_range(self, lo: int, hi: int) -> int:
+        if hi <= lo:
+            return 0
+        return self.rank(hi) - self.rank(lo)
+
+    def range_keys(self, lo: int, hi: int) -> list[int]:
+        if hi <= lo:
+            return []
+        start = self.rank(lo)
+        stop = self.rank(hi)
+        return _recombine_rows(self._run[start:stop], self._limbs)
+
+    def iter_range(self, lo: int, hi: int) -> Iterator[int]:
+        yield from self.range_keys(lo, hi)
+
+    def __contains__(self, key: int) -> bool:
+        lo, hi = _window_of(self._run, self._limbs, key)
+        return hi > lo
+
+    def __iter__(self) -> Iterator[int]:
+        for start in range(0, len(self._run), _CHUNK):
+            yield from _recombine_rows(
+                self._run[start:start + _CHUNK], self._limbs
+            )
+
+    def add(self, key: int) -> None:
+        raise ExperimentError("add: epoch view is read-only")
+
+    def remove(self, key: int) -> None:
+        raise ExperimentError("remove: epoch view is read-only")
+
+    def bulk_add(self, keys) -> None:
+        raise ExperimentError("bulk_add: epoch view is read-only")
+
+    def bulk_remove(self, keys) -> None:
+        raise ExperimentError("bulk_remove: epoch view is read-only")
+
+    def check_invariants(self) -> None:
+        assert self._run.ndim == 2 and self._run.shape[1] == self._limbs, (
+            "limb matrix shape out of sync"
         )
 
 

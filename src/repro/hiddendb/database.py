@@ -9,19 +9,54 @@ called, and the database is considered static for the duration of the round
 (estimators query it through :class:`~repro.hiddendb.interface.TopKInterface`).
 The constant-update model of §5.2 simply mutates the database *between
 queries* instead (see :class:`repro.data.schedules.IntraRoundDriver`).
+
+Epoch double-buffering (HTAP overlap): :meth:`HiddenDatabase.publish_epoch`
+freezes the live store into an immutable
+:class:`~repro.hiddendb.epoch.StoreEpoch` and installs it as the published
+read version.  Readers that enter a :func:`reading_epoch` scope resolve
+:attr:`HiddenDatabase.read_store` (and :attr:`current_round`) against that
+pinned epoch, so round-boundary churn on the live store can proceed
+concurrently without invalidating in-flight estimator pages.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from .backends import DEFAULT_BLOCK_SIZE
+from .epoch import StoreEpoch
 from .ranking import RandomScore, RankingPolicy, scores_for_batch
 from .schema import Schema
 from .store import TupleStore, get_data_plane
 from .tuples import HiddenTuple, TupleBatch
+
+#: Per-context (thread / task) epoch pin: ``(database, epoch)`` while inside
+#: a :func:`reading_epoch` scope, ``None`` otherwise.  Worker threads do NOT
+#: inherit context variables — executors that fan reads out must re-enter
+#: :func:`reading_epoch` inside each worker.
+_epoch_pin: ContextVar["tuple[HiddenDatabase, StoreEpoch] | None"] = ContextVar(
+    "repro_epoch_pin", default=None
+)
+
+
+@contextmanager
+def reading_epoch(db: "HiddenDatabase", epoch: StoreEpoch):
+    """Pin all reads of ``db`` in this context to ``epoch``.
+
+    While the scope is active, ``db.read_store`` resolves to ``epoch`` and
+    ``db.current_round`` reports the round the epoch was published for —
+    estimators see one immutable version end to end even if the live store
+    is being churned and re-published concurrently.
+    """
+    token = _epoch_pin.set((db, epoch))
+    try:
+        yield epoch
+    finally:
+        _epoch_pin.reset(token)
 
 
 class HiddenDatabase:
@@ -53,6 +88,7 @@ class HiddenDatabase:
         )
         self._round = 1
         self._next_tid = 0
+        self._published: StoreEpoch | None = None
 
     @property
     def backend(self) -> str:
@@ -64,13 +100,52 @@ class HiddenDatabase:
     # ------------------------------------------------------------------
     @property
     def current_round(self) -> int:
-        """1-based index of the current round ``Ri``."""
+        """1-based index of the current round ``Ri``.
+
+        Inside a :func:`reading_epoch` scope for this database, reports the
+        round the pinned epoch was published for (the live counter may have
+        advanced concurrently).
+        """
+        pin = _epoch_pin.get()
+        if pin is not None and pin[0] is self:
+            return pin[1].round_index
         return self._round
 
     def advance_round(self) -> int:
         """Start the next round and return its index."""
         self._round += 1
         return self._round
+
+    # ------------------------------------------------------------------
+    # Epoch double-buffering
+    # ------------------------------------------------------------------
+    @property
+    def published(self) -> StoreEpoch | None:
+        """The most recently published read epoch (``None`` before the
+        first :meth:`publish_epoch`)."""
+        return self._published
+
+    @property
+    def read_store(self) -> TupleStore:
+        """The store reads should target in the current context.
+
+        Resolves to the pinned epoch inside a :func:`reading_epoch` scope
+        for this database, and to the live store otherwise.
+        """
+        pin = _epoch_pin.get()
+        if pin is not None and pin[0] is self:
+            return pin[1]
+        return self.store
+
+    def publish_epoch(self) -> StoreEpoch:
+        """Freeze the live store and install it as the published epoch.
+
+        Callers must serialize this against writers (the engine facade's
+        write lock provides that); readers already pinned to the previous
+        epoch are unaffected — their version stays readable until released.
+        """
+        self._published = self.store.publish_epoch(self._round)
+        return self._published
 
     # ------------------------------------------------------------------
     # Mutations
@@ -188,10 +263,10 @@ class HiddenDatabase:
     # Introspection (simulator-side only; NOT visible to estimators)
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.store)
+        return len(self.read_store)
 
     def tuples(self) -> Iterator[HiddenTuple]:
-        return self.store.tuples()
+        return self.read_store.tuples()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -127,8 +127,13 @@ class TopKInterface:
         return self._evaluate_scan(query)
 
     def register_attr_order(self, attr_order: Sequence[int]) -> None:
-        """Pre-register an attribute order so its queries use the index."""
-        self.db.store.ensure_index(attr_order)
+        """Pre-register an attribute order so its queries use the index.
+
+        Resolves against the context's read store: inside an epoch-pinned
+        round this builds an epoch-local index from the frozen heap and
+        leaves the live store (being churned concurrently) untouched.
+        """
+        self.db.read_store.ensure_index(attr_order)
 
     def _match_prefix_order(
         self, query: ConjunctiveQuery
@@ -138,19 +143,25 @@ class TopKInterface:
         # index (ensure_index) while this query plans.
         if not query.predicates:
             # Root query: any registered index (or none yet) works.
-            for attr_order in self.db.store.index_orders():
+            for attr_order in self.db.read_store.index_orders():
                 return attr_order, []
             return None
         wanted = {a: v for a, v in query.predicates}
-        for attr_order in self.db.store.index_orders():
+        for attr_order in self.db.read_store.index_orders():
             head = attr_order[: len(wanted)]
             if set(head) == set(wanted):
                 return attr_order, [wanted[a] for a in head]
         return None
 
     def _epoch_guarded(self, fetch: Callable) -> Callable:
-        """Pin a deferred column fetch / page load to the current store state."""
-        store = self.db.store
+        """Pin a deferred column fetch / page load to the current store state.
+
+        Captures the context's read store: a page pinned to a published
+        :class:`~repro.hiddendb.epoch.StoreEpoch` can never go stale (the
+        epoch's mutation counter is frozen), so overlapped churn on the
+        live store does not invalidate reads started before the flip.
+        """
+        store = self.db.read_store
         epoch = store.mutation_epoch
 
         def guarded():
@@ -166,11 +177,11 @@ class TopKInterface:
     def _evaluate_prefix(
         self, attr_order: Sequence[int], prefix_values: list[int]
     ) -> QueryResult:
-        index = self.db.store.ensure_index(attr_order)
+        store = self.db.read_store
+        index = store.ensure_index(attr_order)
         matching = index.count_prefix(prefix_values)
         if matching == 0:
             return QueryResult(QueryStatus.UNDERFLOW, self.k, tuples=())
-        store = self.db.store
         if get_data_plane() == "scalar":
             if matching <= self.k:
                 page = top_k_by_score(
@@ -225,7 +236,7 @@ class TopKInterface:
                 self.k,
                 loader=lambda: top_k_by_score(matches, self.k),
             )
-        store = self.db.store
+        store = self.db.read_store
         tids, scores = store.scan_match(query.predicates)
         matching = len(tids)
         if matching == 0:

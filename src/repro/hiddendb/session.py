@@ -13,6 +13,7 @@ cache defaults to off; turning it on is the "client cache" ablation).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable
 
 from ..errors import QueryBudgetExhausted
@@ -64,6 +65,27 @@ class QuerySession:
     def can_afford(self, queries: int = 1) -> bool:
         """True if at least ``queries`` more requests fit in the budget."""
         return self.budget is None or self.queries_used + queries <= self.budget
+
+    @contextmanager
+    def reading(self, epoch=None):
+        """Pin every query issued inside the scope to a published epoch.
+
+        Session-level sugar over :func:`~repro.hiddendb.database.reading_epoch`
+        (which the HTAP round executor enters directly): everything inside
+        the scope resolves against one immutable
+        :class:`~repro.hiddendb.epoch.StoreEpoch` while round-boundary
+        churn lands on the live store concurrently.
+        ``epoch=None`` is a no-op scope (sequential mode), so call sites
+        need no branching.  Context-local: worker threads must re-enter
+        the scope themselves (context variables are not inherited).
+        """
+        if epoch is None:
+            yield self
+            return
+        from .database import reading_epoch
+
+        with reading_epoch(self.interface.db, epoch):
+            yield self
 
     def search(self, query: ConjunctiveQuery) -> QueryResult:
         """Issue one search query, charging the budget.

@@ -426,6 +426,22 @@ class SortedKeyList:
         for block in self._blocks:
             yield from block
 
+    def freeze(self):
+        """An immutable snapshot copy of the current multiset contents.
+
+        Blocks are mutated in place by ``add`` / ``remove``, so (unlike
+        the packed engines' zero-copy run hand-off) the blocked engine
+        must copy at publish time: one int64 vector when every key fits
+        64 bits, a plain list of Python ints for wide key universes.
+        """
+        from .epoch import FrozenRun
+
+        try:
+            keys = self._as_array()
+        except OverflowError:
+            keys = [key for block in self._blocks for key in block]
+        return FrozenRun(keys)
+
     def check_invariants(self) -> None:
         """Validate internal structure (used by property tests)."""
         total = 0
@@ -747,7 +763,7 @@ class _HeapBlock:
     """
 
     __slots__ = ("batch", "tid_lo", "tid_hi", "alive", "alive_count",
-                 "_tid_list", "_score_list")
+                 "_tid_list", "_score_list", "shared")
 
     def __init__(self, batch: TupleBatch):
         self.batch = batch
@@ -755,6 +771,9 @@ class _HeapBlock:
         self.tid_hi = int(batch.tids[-1])
         self.alive = np.ones(len(batch), dtype=bool)
         self.alive_count = len(batch)
+        # True while a published epoch's clone shares this block's mutable
+        # columns; the first in-place write privatizes them (copy-on-write).
+        self.shared = False
         # Plain-list twins of the tid/score columns, built lazily on the
         # first point read: bisect on a list and plain float access beat
         # per-call numpy scalar boxing on the lookup path queries hammer,
@@ -796,7 +815,50 @@ class _HeapBlock:
             self._score_list[row],
         )
 
+    def snapshot(self) -> "_HeapBlock":
+        """A copy-on-write clone sharing every column with this block.
+
+        Both sides are marked :attr:`shared`; the first in-place mutation
+        on the live side (:meth:`kill`, or a measure replace through
+        :meth:`TupleStore.replace`) privatizes the mutable columns via
+        :meth:`_unshare`, so the clone keeps observing the snapshot-time
+        contents forever — the heap half of an epoch publish, at zero
+        copy cost until churn actually touches the block.
+        """
+        clone = _HeapBlock.__new__(_HeapBlock)
+        clone.batch = self.batch
+        clone.tid_lo = self.tid_lo
+        clone.tid_hi = self.tid_hi
+        clone.alive = self.alive
+        clone.alive_count = self.alive_count
+        clone._tid_list = self._tid_list
+        clone._score_list = self._score_list
+        clone.shared = True
+        self.shared = True
+        return clone
+
+    def _unshare(self) -> None:
+        """Privatize the mutable columns before an in-place write.
+
+        Only ``alive``, ``measures`` and ``scores`` are ever written in
+        place (values/tids stay frozen for the block's lifetime), so only
+        those copy; the lazy list twins are dropped because a published
+        clone may still share them.
+        """
+        if not self.shared:
+            return
+        batch = self.batch
+        self.batch = TupleBatch(
+            batch.values, batch.measures.copy(),
+            batch.tids, batch.scores.copy(),
+        )
+        self.alive = self.alive.copy()
+        self._tid_list = None
+        self._score_list = None
+        self.shared = False
+
     def kill(self, row: int) -> None:
+        self._unshare()
         self.alive[row] = False
         self.alive_count -= 1
 
@@ -1351,6 +1413,7 @@ class TupleStore:
             # scalar-plane parity of ``random_tids`` — under measure
             # drift.
             block, row = block_row
+            block._unshare()
             block.batch.measures[row] = t.measures
             block.batch.scores[row] = t.score
             if block._score_list is not None:
@@ -1363,6 +1426,24 @@ class TupleStore:
         for listener in self._listeners:
             listener("delete", old)
             listener("insert", t)
+
+    def publish_epoch(self, round_index: int):
+        """An immutable snapshot of the full store state — the HTAP read
+        epoch (:class:`~repro.hiddendb.epoch.StoreEpoch`).
+
+        Heap blocks become copy-on-write clones, the scalar dict remainder
+        copies shallowly, and every prefix index freezes its backend (zero
+        copy on the packing engines).  Callers must serialize the publish
+        against writers, and must not publish mid-:meth:`bulk` (deferred
+        index maintenance would be invisible to the snapshot); the engine's
+        write lock provides both.  The returned epoch then serves reads
+        forever without any lock: its content never changes, so its
+        ``mutation_epoch`` is frozen and pages pinned to it can never go
+        stale.
+        """
+        from .epoch import StoreEpoch
+
+        return StoreEpoch(self, round_index)
 
     def random_tids(self, rng, count: int) -> list[int]:
         """Sample ``count`` distinct tids uniformly (for deletion schedules).

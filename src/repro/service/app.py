@@ -13,7 +13,11 @@ Execution model (mirrors the engine's own lock split from PR 5):
   single worker thread, keeping the event loop free during long rounds).
 * **Observers** — :meth:`reports`, :meth:`ledger`, :meth:`telemetry`,
   :meth:`health` — only touch the engine's *session* lock and respond
-  during a long round (the PR 5 lock-narrowing contract).
+  during a long round (the PR 5 lock-narrowing contract).  With
+  ``EngineConfig(overlap=True)`` the engine's own round lock narrows
+  too: writers take only the write lock, and :meth:`health` reports the
+  *published epoch* (a stable round index + tuple count) rather than
+  racing the live store mid-churn.
 * Every completed ``(task, report)`` is published to subscribers through
   a bounded replay buffer, which the SSE endpoint streams.
 """
@@ -128,7 +132,11 @@ class ServiceApp:
     def snapshot(self, path: str | None = None) -> dict:
         """Take one atomic snapshot (engine + governor); returns the
         manifest.  Serialized with the mutating handlers, so it always
-        observes a between-rounds quiescent point."""
+        observes a between-rounds quiescent point.  In overlap mode that
+        point is exactly a publish flip — the snapshot captures the same
+        version the published epoch serves (estimator state and store
+        must agree, so snapshots quiesce writers rather than racing
+        them)."""
         target = path if path is not None else self.store_dir
         if target is None:
             raise ExperimentError(
@@ -270,11 +278,23 @@ class ServiceApp:
         )
 
     def health(self) -> HealthResponse:
+        # In overlap mode, report the published epoch: one atomic
+        # (round, size) pair — the version estimators are actually
+        # reading — instead of sampling the live store mid-churn.
+        epoch = (
+            self.engine.db.published if self.engine.config.overlap else None
+        )
+        if epoch is not None:
+            round_index, tuples = epoch.round_index, len(epoch)
+        else:
+            round_index, tuples = (
+                self.engine.current_round, len(self.engine.db),
+            )
         return HealthResponse(
             status="ok",
-            round_index=self.engine.current_round,
+            round_index=round_index,
             backend=self.engine.backend,
-            tuples=len(self.engine.db),
+            tuples=tuples,
             tasks=list(self.engine.tasks()),
         )
 

@@ -61,6 +61,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shard count (sharded backend only)")
     engine.add_argument("--parallelism", type=int, default=None,
                         help="round worker threads")
+    engine.add_argument(
+        "--overlap", action="store_true",
+        help="HTAP epoch split: estimators read the published immutable "
+             "epoch while round-boundary churn lands concurrently "
+             "(bit-identical estimates; mutations become visible at the "
+             "next round flip)",
+    )
     engine.add_argument("--k", type=int, default=100,
                         help="top-k interface page size")
     engine.add_argument("--budget-per-round", type=int, default=300,
@@ -157,6 +164,7 @@ def build_app(args: argparse.Namespace) -> ServiceApp:
         seed=args.seed,
         shards=args.shards,
         parallelism=args.parallelism,
+        overlap=args.overlap,
         report_log_limit=args.report_log_limit,
         store_dir=args.store_dir,
     )

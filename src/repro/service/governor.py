@@ -188,10 +188,15 @@ class BudgetGovernor:
 
     def _roll(self, usage: TenantUsage, round_index: int) -> None:
         window = self.window_of(round_index)
-        if window != self._window_index:
+        # Forward-only: a late admit/commit for a round in an
+        # already-closed window must not re-open it.  Rolling on *any*
+        # window change meant a round landing exactly on a window_rounds
+        # boundary could bounce the counters back to the old window and
+        # wipe the new window's bookings — charging the old window twice.
+        if window > self._window_index:
             self._window_index = window
             self._window_queries = 0
-        if window != usage.window_index:
+        if window > usage.window_index:
             usage.window_index = window
             usage.window_queries = 0
             usage.consecutive_deferrals = 0
@@ -255,15 +260,20 @@ class BudgetGovernor:
                 return Admission(ACTION_WIDEN, 0, requested, remaining)
             usage.refused_rounds += 1
             usage.last_action = ACTION_REFUSE
+            # The allowance resets when the *currently open* window ends
+            # (which may be ahead of this round's window for a late
+            # request); clamp to at least one round so a refusal at the
+            # exact window boundary never advertises an immediate retry.
             next_window_round = (
-                (self.window_of(round_index) + 1) * self.config.window_rounds
+                (max(self._window_index, self.window_of(round_index)) + 1)
+                * self.config.window_rounds
             )
             raise AdmissionError(
                 f"tenant {tenant!r} exhausted its window budget "
                 f"({remaining} of its allowance left, nominal round "
                 f"budget {requested})",
                 tenant=tenant,
-                retry_after_rounds=next_window_round - round_index,
+                retry_after_rounds=max(1, next_window_round - round_index),
                 remaining=remaining,
             )
 
@@ -286,16 +296,25 @@ class BudgetGovernor:
         return remaining
 
     def commit(self, tenant: str, used: int, round_index: int) -> None:
-        """Book the queries a tenant's round actually spent."""
+        """Book the queries a tenant's round actually spent.
+
+        Lifetime totals always book; *window* counters book only when the
+        round belongs to the window that is currently open — a straggler
+        commit from a closed window must not charge the new window's
+        allowance (nor, with the forward-only roll, re-open the old one).
+        """
         if used < 0:
             raise ExperimentError("used queries must be non-negative")
         with self._lock:
             usage = self._usage(tenant)
             self._roll(usage, round_index)
-            usage.window_queries += used
+            window = self.window_of(round_index)
+            if window == usage.window_index:
+                usage.window_queries += used
             usage.queries_total += used
             usage.rounds_run += 1
-            self._window_queries += used
+            if window == self._window_index:
+                self._window_queries += used
             self._queries_total += used
 
     # ------------------------------------------------------------------

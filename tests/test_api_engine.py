@@ -15,9 +15,11 @@ import pytest
 
 from repro import HiddenDatabase, count_all, count_where, sum_measure
 from repro.api import (
+    GAP_TASK,
     Engine,
     EngineConfig,
     EstimationTask,
+    ReportGap,
     available_estimators,
     register_estimator,
     resolve_estimator,
@@ -225,10 +227,13 @@ class TestLifecycle:
         engine.submit(EstimationTask("b", [count_all()], "RS", budget=10))
         for _ in range(4):
             engine.run_round()
-        # 8 reports produced, only the newest 3 retained in the log...
+        # 8 reports produced, only the newest 3 retained in the log; the
+        # stream surfaces the eviction as a leading truncation marker
+        # rather than silently replaying the gapped log as contiguous.
         assert len(engine._log) == 3
-        streamed = [name for name, _ in engine.stream_reports()]
-        assert streamed == ["b", "a", "b"]
+        streamed = list(engine.stream_reports())
+        assert [name for name, _ in streamed] == [GAP_TASK, "b", "a", "b"]
+        assert streamed[0][1] == ReportGap(dropped=5)
         # ... per-task histories are bounded too, newest first to go last,
         # while the lifetime accounting stays exact in O(1) counters.
         for name in ("a", "b"):
@@ -239,6 +244,30 @@ class TestLifecycle:
             assert handle.latest is handle.reports[-1]
         with pytest.raises(ExperimentError):
             EngineConfig(report_log_limit=0)
+
+    def test_stream_reports_marks_mid_iteration_eviction(self):
+        # A slow consumer racing a fast producer: entries evicted *while*
+        # the stream is suspended surface as an in-stream gap marker at
+        # the point of truncation, and the filtered stream carries the
+        # marker too (the filter cannot know what the dropped entries
+        # were).
+        db, _ = _build_env()
+        engine = Engine(
+            EngineConfig(k=12, budget_per_round=60, report_log_limit=2),
+            db=db,
+        )
+        engine.submit(EstimationTask("a", [count_all()], "RS", budget=10))
+        engine.run_round()
+        stream = engine.stream_reports()
+        name, _report = next(stream)
+        assert name == "a"
+        for _ in range(3):
+            engine.run_round()
+        rest = list(stream)
+        assert [name for name, _ in rest] == [GAP_TASK, "a", "a"]
+        assert rest[0][1] == ReportGap(dropped=1)
+        filtered = list(engine.stream_reports(task="no-such-task"))
+        assert filtered == [(GAP_TASK, ReportGap(dropped=2))]
 
     def test_engine_builds_its_own_database(self):
         source = skewed_source([12, 12, 12], exponent=0.3, seed=1)

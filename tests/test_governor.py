@@ -218,6 +218,58 @@ class TestWindowReset:
         assert snapshot["window_queries"] == 0  # window 1, nothing spent
         assert snapshot["queries_total"] == 50  # lifetime total survives
 
+    def test_boundary_round_does_not_double_charge_the_old_window(self):
+        # Regression: a commit landing exactly on the window_rounds
+        # boundary opens the new window; a *straggler* commit from the
+        # old window arriving afterwards used to roll the counters
+        # backward (wiping the new window's bookings) and then forward
+        # again — double-charging across the boundary.  Forward-only
+        # rolling keeps the new window's charges intact and books the
+        # straggler into lifetime totals only.
+        governor = _governor(queries_per_window=100, window_rounds=10)
+        governor.commit("t", 30, 9)    # window 0
+        governor.commit("t", 40, 10)   # boundary: opens window 1
+        governor.commit("t", 5, 9)     # straggler from closed window 0
+        snapshot = governor.snapshot()
+        assert snapshot["window_index"] == 1
+        assert snapshot["window_queries"] == 40   # not wiped, not 45
+        assert snapshot["queries_total"] == 75    # straggler still counted
+        tenant = snapshot["tenants"]["t"]
+        assert tenant["window_index"] == 1
+        assert tenant["window_queries"] == 40
+        assert tenant["queries_total"] == 75
+        # Window 1 still has 60 of its 100-query allowance.
+        assert governor.admit("t", 60, 10).action == ACTION_ALLOW
+
+    def test_straggler_admit_does_not_reopen_a_closed_window(self):
+        governor = _governor(queries_per_window=100, window_rounds=10)
+        governor.commit("t", 100, 5)   # exhausts window 0
+        governor.commit("t", 20, 10)   # window 1 opens with 20 booked
+        # An admit quoting an old-window round sees the *open* window's
+        # remaining allowance, not a resurrected window 0.
+        assert governor.admit("t", 80, 9).action == ACTION_ALLOW
+
+    def test_retry_after_at_the_boundary_is_never_zero(self):
+        governor = _governor(
+            queries_per_window=10, window_rounds=10, max_deferrals=0,
+        )
+        # Exhaust every window the probes below land in.
+        for round_index in (0, 10):
+            governor.commit("t", 10, round_index)
+        for round_index in (0, 5, 9, 10):
+            with pytest.raises(AdmissionError) as excinfo:
+                governor.admit("t", 40, round_index)
+            assert excinfo.value.retry_after_rounds >= 1
+        # Refusals quote the *open* window's reset: window 1 is current,
+        # so a round-9 straggler waits for round 20 (11 rounds), and the
+        # boundary round itself waits a full window, never 0.
+        with pytest.raises(AdmissionError) as excinfo:
+            governor.admit("t", 40, 9)
+        assert excinfo.value.retry_after_rounds == 11
+        with pytest.raises(AdmissionError) as excinfo:
+            governor.admit("t", 40, 10)
+        assert excinfo.value.retry_after_rounds == 10
+
 
 class TestConcurrentAccounting:
     def test_many_threads_account_exactly(self):

@@ -6,7 +6,8 @@ got vectorized twins in PR 5; these tests pin them to their scalar oracles:
 * :func:`repro.hiddendb.backends.mod_many` — the chunked int64-limb modulo
   behind ``PrefixIndex.range_tids`` (and sharded partitioning) must equal
   the per-key ``%`` loop for any modulus class (power of two, small,
-  48-bit Horner, and the big-modulus scalar fallback).
+  48-bit Horner, and the big-modulus double-and-add path covering the
+  rest of ``[2**48, 2**63)``).
 * The packed engine's wide-run rank probe (top-63-bit ``searchsorted``
   window + exact bisect) must equal a plain ``bisect_left`` over the live
   key list.
@@ -40,7 +41,10 @@ MODULI = (
     2**31 + 11,       # forces the 16-bit-digit Horner multiply
     2**48,            # the default tid_span (power-of-two mask path)
     2**48 - 59,       # largest Horner-capable modulus class
-    2**50 + 1,        # beyond the Horner bound: scalar fallback
+    2**50 + 1,        # beyond the Horner bound: double-and-add path
+    2**55 - 55,       # mid-band non-power-of-two (double-and-add)
+    2**62 + 2**61 + 1,  # wide bit pattern high in the band
+    2**63 - 25,       # largest supported non-power-of-two modulus
     12345678901234,
 )
 
@@ -95,6 +99,18 @@ def test_mod_many_rejects_negative_keys_on_the_limb_path():
     st.integers(min_value=1, max_value=2**52),
 )
 def test_mod_many_property_parity(keys, modulus):
+    assert mod_many(keys, modulus).tolist() == [k % modulus for k in keys]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**250), max_size=50),
+    st.integers(min_value=2**48, max_value=2**63 - 1),
+)
+def test_mod_many_big_modulus_band_parity(keys, modulus):
+    # Regression: non-power-of-two moduli in [2**48, 2**63) used to drop
+    # silently to the per-key scalar loop; the exact double-and-add
+    # reduction now covers the whole band and must match % bit for bit.
     assert mod_many(keys, modulus).tolist() == [k % modulus for k in keys]
 
 
