@@ -1,0 +1,93 @@
+"""Observability-plane overhead gate on the fig12 facade workload.
+
+Runs :func:`bench_engine_fig12.run_engine_fig12` with the ``repro.obs``
+plane disabled and enabled, *interleaved* (off/on pairs) so frequency
+scaling and cache warm-up bias neither mode, then asserts
+
+* the estimates are **bit-identical** — instrumentation is counters and
+  timers only, it never touches estimator RNG streams; and
+* the enabled/disabled wall-time ratio stays under
+  ``REPRO_OBS_MAX_OVERHEAD`` (default 1.10 — the target is ~3%, the gate
+  leaves head-room for runner jitter).
+
+Drops ``BENCH_obs_overhead.json`` with both timings and the measured
+ratio for the perf-gate trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from bench_engine_fig12 import run_engine_fig12
+from conftest import BENCH_SCALE
+
+from repro.obs import OBS
+
+#: Enabled/disabled wall ratio the gate tolerates.
+MAX_OVERHEAD = float(os.environ.get("REPRO_OBS_MAX_OVERHEAD", "1.10"))
+
+#: off/on pairs timed; the minimum of each mode is compared.
+PAIRS = int(os.environ.get("REPRO_OBS_OVERHEAD_PAIRS", "3"))
+
+
+def _run_once(enabled: bool):
+    OBS.reset()
+    if enabled:
+        OBS.enable()
+    else:
+        OBS.disable()
+    try:
+        started = time.perf_counter()
+        figure = run_engine_fig12(
+            n=max(2_000, int(100_000 * BENCH_SCALE)), rounds=6, budget=400
+        )
+        return figure, time.perf_counter() - started
+    finally:
+        OBS.disable()
+
+
+def test_obs_overhead():
+    walls: dict[bool, list[float]] = {False: [], True: []}
+    figures: dict[bool, object] = {}
+    started = time.perf_counter()
+    for _ in range(PAIRS):
+        for enabled in (False, True):
+            figure, wall = _run_once(enabled)
+            figures[enabled] = figure
+            walls[enabled].append(wall)
+    total_wall = time.perf_counter() - started
+
+    # Bit-identity: same xs, same per-round error series, same ledger.
+    off, on = figures[False], figures[True]
+    assert off.xs == on.xs
+    assert off.series == on.series, "observability changed the estimates"
+    assert off.meta["budget_ledger"] == on.meta["budget_ledger"]
+
+    best_off = min(walls[False])
+    best_on = min(walls[True])
+    ratio = best_on / best_off if best_off > 0 else 1.0
+    payload = {
+        "name": "obs_overhead",
+        "test": "test_obs_overhead",
+        "figure_id": None,
+        "scale": BENCH_SCALE,
+        "pairs": PAIRS,
+        "wall_seconds": round(total_wall, 3),
+        "wall_seconds_disabled": [round(w, 4) for w in walls[False]],
+        "wall_seconds_enabled": [round(w, 4) for w in walls[True]],
+        "overhead_ratio": round(ratio, 4),
+        "max_overhead": MAX_OVERHEAD,
+        "bit_identical": True,
+    }
+    path = Path.cwd() / "BENCH_obs_overhead.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"\nobs overhead: off={best_off:.3f}s on={best_on:.3f}s "
+        f"ratio={ratio:.3f} (gate {MAX_OVERHEAD})"
+    )
+    assert ratio <= MAX_OVERHEAD, (
+        f"observability overhead {ratio:.3f}x exceeds {MAX_OVERHEAD}x"
+    )

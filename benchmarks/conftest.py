@@ -37,6 +37,7 @@ import pytest
 
 from repro.hiddendb.backends import get_default_backend, set_default_backend
 from repro.hiddendb.store import get_data_plane
+from repro.obs import OBS
 
 #: Fraction of the paper's dataset sizes used by default.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
@@ -88,6 +89,10 @@ def _write_bench_json(request, figure, wall_seconds: float) -> None:
         "xs": _json_safe(list(figure.xs)),
         "series": _json_safe(figure.series),
         "meta": _json_safe(getattr(figure, "meta", {})),
+        "metrics": _json_safe({
+            "summary": OBS.summary(),
+            "registry": OBS.snapshot(),
+        }),
     }
     path = Path.cwd() / f"BENCH_{stem}.json"
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -98,11 +103,19 @@ def figure_bench(benchmark, request):
     """Run a figure builder once under pytest-benchmark and record it."""
 
     def _run(builder, **kwargs):
-        started = time.perf_counter()
-        figure = benchmark.pedantic(
-            lambda: builder(**kwargs), rounds=1, iterations=1
-        )
-        wall_seconds = time.perf_counter() - started
+        # Fresh counters per figure run so each BENCH_*.json's "metrics"
+        # block covers exactly that run (estimates are bit-identical with
+        # the observability plane on — see bench_obs_overhead.py).
+        OBS.reset()
+        OBS.enable()
+        try:
+            started = time.perf_counter()
+            figure = benchmark.pedantic(
+                lambda: builder(**kwargs), rounds=1, iterations=1
+            )
+            wall_seconds = time.perf_counter() - started
+        finally:
+            OBS.disable()
         print("\n" + figure.to_text())
         _write_bench_json(request, figure, wall_seconds)
         return figure

@@ -38,6 +38,12 @@ from ..hiddendb.store import (
     set_data_plane,
     using_data_plane,
 )
+from ..obs import (
+    OBS,
+    get_default_observability,
+    set_default_observability,
+    using_observability,
+)
 from .config import (
     ROUND_EXECUTORS,
     SEED_POLICIES,
@@ -59,6 +65,7 @@ __all__ = [
     "ReportGap",
     "SEED_POLICIES",
     "TaskHandle",
+    "OBS",
     "has_snapshot",
     "load_engine",
     "save_engine",
@@ -67,6 +74,7 @@ __all__ = [
     "get_data_plane",
     "get_default_backend",
     "get_default_backend_options",
+    "get_default_observability",
     "get_default_parallelism",
     "overriding_data_plane",
     "register_backend",
@@ -75,9 +83,11 @@ __all__ = [
     "set_data_plane",
     "set_default_backend",
     "set_default_backend_options",
+    "set_default_observability",
     "set_default_parallelism",
     "using_backend",
     "using_backend_options",
     "using_data_plane",
+    "using_observability",
     "using_parallelism",
 ]

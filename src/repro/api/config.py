@@ -13,9 +13,10 @@ them with one documented precedence order, highest first:
    :class:`~repro.api.engine.EstimationTask`).
 2. **Process-wide programmatic default** — ``set_default_backend`` /
    ``set_data_plane`` (or their scoped ``using_*`` twins).
-3. **Environment variable** — ``REPRO_DATA_PLANE`` for the data plane.
-   Environment variables are *defaults only*: they never override levels
-   1–2 (see ``tests/test_data_plane_precedence.py``).
+3. **Environment variable** — ``REPRO_DATA_PLANE`` for the data plane,
+   ``REPRO_OBS`` for the observability plane.  Environment variables are
+   *defaults only*: they never override levels 1–2 (see
+   ``tests/test_data_plane_precedence.py``).
 4. **Built-in default** — ``blocked`` storage, ``vectorized`` data plane.
 
 ``REPRO_BENCH_BACKEND`` remains a benchmarks-harness convenience (it calls
@@ -43,6 +44,7 @@ from ..hiddendb.store import (
     get_data_plane,
     overriding_data_plane,
 )
+from ..obs import get_default_observability, using_observability
 
 #: How per-task estimator seeds derive from :attr:`EngineConfig.seed` when
 #: a task does not pin one explicitly.
@@ -160,6 +162,14 @@ class EngineConfig:
         directory holds everything the deployment writes.  ``None``
         (default) = no durable directory; snapshots then need an explicit
         path.
+    observability:
+        Enable the :mod:`repro.obs` metrics/tracing plane for engines
+        built with this config (see ``docs/observability.md``).  ``None``
+        defers to the process default
+        (:func:`repro.obs.set_default_observability` > ``REPRO_OBS`` env
+        var > off).  Estimates are bit-identical either way; enabling is
+        engine-wide (the registry is process-global) and an engine never
+        *disables* a registry another engine enabled.
     """
 
     backend: str | None = None
@@ -175,8 +185,13 @@ class EngineConfig:
     round_executor: str = "thread"
     report_log_limit: int | None = None
     store_dir: str | None = None
+    observability: bool | None = None
 
     def __post_init__(self) -> None:
+        if self.observability is not None and not isinstance(
+            self.observability, bool
+        ):
+            raise ExperimentError("observability must be a bool or None")
         if self.k < 1:
             raise ExperimentError("k must be at least 1")
         if self.budget_per_round < 1:
@@ -238,6 +253,14 @@ class EngineConfig:
             get_default_parallelism()
         )
 
+    def resolved_observability(self) -> bool:
+        """Whether this config enables the observability plane, after the
+        precedence order (explicit field > ``set_default_observability``
+        > ``REPRO_OBS`` > off)."""
+        return self.observability if self.observability is not None else (
+            get_default_observability()
+        )
+
     def backend_factory_options(self) -> dict:
         """The backend-specific factory options this config implies.
 
@@ -292,7 +315,7 @@ class EngineConfig:
             self.data_plane
         ), using_backend_options("sharded", shard_options), using_parallelism(
             self.parallelism
-        ):
+        ), using_observability(self.observability):
             yield self
 
     def task_seed(self, task_name: str, explicit: int | None = None) -> int:

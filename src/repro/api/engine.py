@@ -50,6 +50,7 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
+from time import perf_counter
 from typing import Callable, Iterator, Mapping, Sequence
 
 from ..core.aggregates import AnySpec
@@ -68,11 +69,18 @@ from ..hiddendb.interface import TopKInterface
 from ..hiddendb.ranking import RankingPolicy
 from ..hiddendb.schema import Schema
 from ..hiddendb.store import get_data_plane, overriding_data_plane
+from ..obs import OBS
 from .config import EngineConfig
 
 #: Task-name slot of the truncation markers ``stream_reports()`` yields
 #: when ``report_log_limit`` eviction opened a gap in the replayed log.
 GAP_TASK = "__gap__"
+
+# Import-time observability handles (see repro.obs); per-task handles are
+# created once per submit and cached on the TaskHandle.
+_ROUNDS_TOTAL = OBS.counter("repro_rounds_total")
+_ROUND_SECONDS = OBS.histogram("repro_round_seconds")
+_WORKER_UTILIZATION = OBS.gauge("repro_worker_utilization")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -195,7 +203,8 @@ class TaskHandle:
     """A live task inside an engine: its estimator, budget, and reports."""
 
     __slots__ = ("name", "estimator", "budget_per_round", "task",
-                 "_reports", "_history_limit", "rounds_run", "queries_total")
+                 "_reports", "_history_limit", "rounds_run", "queries_total",
+                 "_obs_task_seconds", "_obs_budget_spent")
 
     def __init__(self, name, estimator, budget_per_round, task,
                  history_limit: int | None = None):
@@ -210,6 +219,14 @@ class TaskHandle:
         self._history_limit = history_limit
         self.rounds_run = 0
         self.queries_total = 0
+        # Per-task registry handles, resolved once here so rounds never
+        # take the registry's get-or-create lock.
+        self._obs_task_seconds = OBS.histogram(
+            "repro_round_task_seconds", {"task": name}
+        )
+        self._obs_budget_spent = OBS.counter(
+            "repro_budget_spent_total", {"task": name}
+        )
 
     @property
     def reports(self) -> tuple[RoundReport, ...]:
@@ -259,6 +276,8 @@ class TaskHandle:
             del self._reports[: len(self._reports) - self._history_limit]
         self.rounds_run += 1
         self.queries_total += report.queries_used
+        if OBS.enabled:
+            self._obs_budget_spent.inc(report.queries_used)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
@@ -294,6 +313,10 @@ class Engine:
         ranking: RankingPolicy | None = None,
     ):
         self.config = config if config is not None else EngineConfig()
+        # Enable-only: the registry is process-global, so one engine
+        # opting in must never switch off another engine's plane.
+        if self.config.resolved_observability():
+            OBS.enable()
         if db is None:
             if schema is None:
                 raise ExperimentError(
@@ -583,6 +606,13 @@ class Engine:
         parent.
         """
         try:
+            # First thing in the child: all instrumentation is guarded by
+            # OBS.enabled, so disabling here guarantees the child never
+            # touches registry or span-log locks (another thread may have
+            # held one at fork time — touching it would deadlock).  The
+            # child's metrics are intentionally lost; the parent records
+            # the round outcome when it adopts the report.
+            OBS.disable()
             try:
                 report = self._run_estimator(handle, plane, epoch)
                 payload = {
@@ -676,6 +706,21 @@ class Engine:
         from other threads stay responsive during a long round.  Returns
         ``{task name: report}``.
         """
+        if not OBS.enabled:
+            return self._run_round_inner(tasks, parallel)
+        _ROUNDS_TOTAL.inc()
+        started = perf_counter()
+        with OBS.span("engine.run_round"):
+            try:
+                return self._run_round_inner(tasks, parallel)
+            finally:
+                _ROUND_SECONDS.observe(perf_counter() - started)
+
+    def _run_round_inner(
+        self,
+        tasks: Sequence[str] | None,
+        parallel: int | None,
+    ) -> dict[str, RoundReport]:
         with self._scoped():
             # The effective plane, with every override already in scope
             # (the engine's pin via _scoped, or the caller's own
@@ -718,6 +763,26 @@ class Engine:
                         epoch = self.db.published
                         if epoch is None:
                             epoch = self.db.publish_epoch()
+            if OBS.enabled:
+                # Per-task wall times both feed the per-task histograms
+                # and, summed against the round wall below, the worker-
+                # utilization gauge.  The list append is GIL-atomic, so
+                # pool workers share it without a lock.
+                round_started = perf_counter()
+                task_seconds: list[float] = []
+
+                def runner(handle, plane, epoch):
+                    task_started = perf_counter()
+                    try:
+                        with OBS.span("round.task"):
+                            return self._run_estimator(handle, plane, epoch)
+                    finally:
+                        elapsed = perf_counter() - task_started
+                        handle._obs_task_seconds.observe(elapsed)
+                        task_seconds.append(elapsed)
+            else:
+                task_seconds = []
+                runner = self._run_estimator
             # Outcomes are RoundReports or the exception a task raised;
             # completed tasks' reports are recorded either way (their
             # budget was spent and their RNG advanced — dropping them
@@ -744,9 +809,7 @@ class Engine:
                         thread_name_prefix="repro-round",
                     ) as pool:
                         futures = [
-                            pool.submit(
-                                self._run_estimator, handle, plane, epoch
-                            )
+                            pool.submit(runner, handle, plane, epoch)
                             for handle in selected
                         ]
                         for future in futures:
@@ -757,14 +820,25 @@ class Engine:
             else:
                 for handle in selected:
                     try:
-                        produced.append(
-                            self._run_estimator(handle, plane, epoch)
-                        )
+                        produced.append(runner(handle, plane, epoch))
                     except BaseException as exc:
                         # Sequential semantics: later tasks do not run
                         # this round (matches the pre-parallel engine).
                         produced.append(exc)
                         break
+            if (
+                OBS.enabled
+                and workers > 1
+                and len(selected) > 1
+                and self.config.round_executor != "fork"
+                and task_seconds
+            ):
+                wall = perf_counter() - round_started
+                effective = min(workers, len(selected))
+                if wall > 0:
+                    _WORKER_UTILIZATION.set(
+                        min(1.0, sum(task_seconds) / (effective * wall))
+                    )
             with self._lock:
                 reports: dict[str, RoundReport] = {}
                 error: BaseException | None = None
@@ -836,6 +910,36 @@ class Engine:
                 }
                 for name, handle in self._tasks.items()
             }
+
+    def metrics(self) -> dict:
+        """A stamped, strict-JSON observability snapshot of this engine.
+
+        Combines the engine's own view (round index, backend, per-task
+        counters and interface stats) with the process-global registry
+        (:meth:`repro.obs.MetricsRegistry.snapshot`) and its derived
+        summary.  Always callable — with observability disabled the
+        registry portion reports ``enabled: false`` and whatever was
+        recorded while it was last on.
+        """
+        from ..core.wire import stamp
+
+        with self._lock:
+            tasks = {
+                name: {
+                    "rounds": handle.rounds_run,
+                    "queries_total": handle.queries_total,
+                    "interface": handle.interface.stats.to_dict(),
+                }
+                for name, handle in self._tasks.items()
+            }
+        return stamp({
+            "enabled": OBS.enabled,
+            "round_index": self.current_round,
+            "backend": self.backend,
+            "tasks": tasks,
+            "registry": OBS.snapshot(),
+            "summary": OBS.summary(),
+        })
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -21,6 +21,7 @@ import time
 
 from ..api import EngineConfig
 from ..hiddendb.backends import available_backends
+from ..obs import OBS, format_span_tree
 from .figures import FIGURES
 
 
@@ -74,6 +75,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker threads per engine round (and per-shard bulk "
              "dispatch width on a sharded backend); default 1 = sequential."
              "  Estimates are bit-identical at any setting.",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable the repro.obs observability plane and print a "
+             "per-phase span tree after each figure (estimates are "
+             "bit-identical with or without it)",
     )
     run.add_argument("--out", default=None, help="append output to a file")
     return parser
@@ -132,10 +140,21 @@ def main(argv: list[str] | None = None) -> int:
         data_plane=args.data_plane,
         shards=args.shards,
         parallelism=args.parallelism,
+        observability=True if args.profile else None,
     )
     with config.apply():
         for figure_id in targets:
+            if args.profile:
+                # Fresh counters and span log per figure, so each printed
+                # profile covers exactly one figure run.
+                OBS.reset()
             text = _run_one(figure_id, args)
+            if args.profile:
+                text += (
+                    f"\n-- profile: {figure_id} "
+                    f"(spans dropped: {OBS.spans.dropped}) --\n"
+                    f"{format_span_tree(OBS.spans.records())}\n"
+                )
             print(text)
             chunks.append(text)
     if args.out:

@@ -28,6 +28,7 @@ from ..data.schedules import IntraRoundDriver, UpdateSchedule, apply_round
 from ..errors import EstimationError, ExperimentError
 from ..hiddendb.database import HiddenDatabase
 from ..hiddendb.schema import Schema
+from ..obs import OBS
 from .ground_truth import GroundTruthTracker
 from .metrics import ExperimentResult
 
@@ -152,7 +153,7 @@ class Experiment:
         return self.config.backend
 
     def _build_env(self, seed: int) -> Env:
-        with self.config.apply():
+        with self.config.apply(), OBS.span("experiment.env_build"):
             return self.env_factory(seed)
 
     def _engine(self, db: HiddenDatabase) -> Engine:
@@ -164,10 +165,11 @@ class Experiment:
         result: ExperimentResult | None = None
         for trial in range(self.trials):
             seed = self.base_seed + 1000 * trial
-            if self.intra_round:
-                trial_result = self._run_trial_intra(seed, trial, result)
-            else:
-                trial_result = self._run_trial_round(seed, trial, result)
+            with OBS.span("experiment.trial"):
+                if self.intra_round:
+                    trial_result = self._run_trial_intra(seed, trial, result)
+                else:
+                    trial_result = self._run_trial_round(seed, trial, result)
             result = trial_result
         assert result is not None
         return result

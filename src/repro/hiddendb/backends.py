@@ -69,10 +69,32 @@ from typing import (
 import numpy as np
 
 from ..errors import SchemaError
+from ..obs import OBS
 
 #: Target number of keys per block for blocked engines; blocks split at
 #: twice this size.
 DEFAULT_BLOCK_SIZE = 1024
+
+# Observability handles, created once at import: rank() and the bulk merge
+# paths are the hottest code in the tree, so the enabled check is the only
+# per-call cost and the registry lock is never touched here.
+_PACKED_HITS = OBS.counter(
+    "repro_rank_cache_hits_total", {"backend": "packed"}
+)
+_PACKED_MISSES = OBS.counter(
+    "repro_rank_cache_misses_total", {"backend": "packed"}
+)
+_PACKED_COMPACTIONS = OBS.counter(
+    "repro_backend_compactions_total", {"backend": "packed"}
+)
+_SHARDED_HITS = OBS.counter(
+    "repro_rank_cache_hits_total", {"backend": "sharded"}
+)
+_SHARDED_MISSES = OBS.counter(
+    "repro_rank_cache_misses_total", {"backend": "sharded"}
+)
+_MERGE_ADD_ROWS = OBS.histogram("repro_bulk_merge_rows", {"op": "add"})
+_MERGE_REMOVE_ROWS = OBS.histogram("repro_bulk_merge_rows", {"op": "remove"})
 
 #: Largest key a packed ``array('q')`` run can hold.
 _INT64_MAX = 2**63 - 1
@@ -431,6 +453,8 @@ class PackedArrayBackend:
         """Merge the tail into the run and drop dead keys (O(n))."""
         if not (self._tail or self._dead):
             return
+        if OBS.enabled:
+            _PACKED_COMPACTIONS.inc()
         if self._packed:
             # One vectorized multiset-subtract + concatenate-sort instead
             # of a per-key Python heap walk over the whole run.
@@ -458,6 +482,8 @@ class PackedArrayBackend:
         """
         array_batch = _as_int64_batch(keys)
         if array_batch is not None:
+            if OBS.enabled and len(array_batch):
+                _MERGE_ADD_ROWS.observe(len(array_batch))
             if self._packed and len(array_batch) * 8 >= len(self._run):
                 self._bulk_add_array(array_batch)
                 return
@@ -465,6 +491,8 @@ class PackedArrayBackend:
         batch = sorted(keys)
         if not batch:
             return
+        if OBS.enabled and array_batch is None:
+            _MERGE_ADD_ROWS.observe(len(batch))
         if self._tail:
             self._tail = list(heap_merge(self._tail, batch))
         else:
@@ -531,11 +559,16 @@ class PackedArrayBackend:
         """
         array_batch = _as_int64_batch(keys)
         if array_batch is not None:
+            if OBS.enabled and len(array_batch):
+                _MERGE_REMOVE_ROWS.observe(len(array_batch))
             if self._packed and len(array_batch) * 8 >= len(self._run):
                 self._bulk_remove_array(array_batch)
                 return
             keys = array_batch.tolist()
-        for key in sorted(keys):
+        batch = sorted(keys)
+        if OBS.enabled and array_batch is None and batch:
+            _MERGE_REMOVE_ROWS.observe(len(batch))
+        for key in batch:
             self._remove_one(key)
         self._maybe_compact()
 
@@ -579,7 +612,11 @@ class PackedArrayBackend:
         """Number of stored keys strictly smaller than ``key``."""
         cached = self._rank_cache.get(key)
         if cached is not None:
+            if OBS.enabled:
+                _PACKED_HITS.inc()
             return cached
+        if OBS.enabled:
+            _PACKED_MISSES.inc()
         value = (
             self._run_bisect(key)
             + bisect_left(self._tail, key)
@@ -840,6 +877,13 @@ class ShardedBackend:
             for shard, part in jobs:
                 getattr(shard, method)(part)
 
+    def _observe_shard_keys(self) -> None:
+        """Refresh the per-shard key-count gauges (enabled path only)."""
+        for index, shard in enumerate(self._shards):
+            OBS.gauge(
+                "repro_shard_keys", {"shard": str(index)}
+            ).set(len(shard))
+
     def bulk_add(self, keys: Iterable[int]) -> None:
         """Insert a batch: partition once, one inner merge per shard."""
         parts = self._partition(keys)
@@ -849,6 +893,8 @@ class ShardedBackend:
         self._dispatch("bulk_add", parts)
         self._size += added
         self._dirty()
+        if OBS.enabled:
+            self._observe_shard_keys()
 
     def _verify_removable(self, shard: StorageBackend, part) -> None:
         """Raise ``ValueError`` unless every occurrence in ``part`` has a
@@ -884,6 +930,8 @@ class ShardedBackend:
         self._dispatch("bulk_remove", parts)
         self._size -= sum(len(part) for part in parts)
         self._dirty()
+        if OBS.enabled:
+            self._observe_shard_keys()
 
     # ------------------------------------------------------------------
     # Queries
@@ -895,7 +943,11 @@ class ShardedBackend:
         """Number of stored keys strictly smaller than ``key``."""
         cached = self._rank_cache.get(key)
         if cached is not None:
+            if OBS.enabled:
+                _SHARDED_HITS.inc()
             return cached
+        if OBS.enabled:
+            _SHARDED_MISSES.inc()
         value = sum(shard.rank(key) for shard in self._shards)
         if len(self._rank_cache) < _RANK_CACHE_LIMIT:
             self._rank_cache[key] = value

@@ -53,11 +53,13 @@ import tempfile
 import weakref
 from bisect import bisect_left, insort
 from heapq import merge as heap_merge
+from time import perf_counter
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from ..errors import ExperimentError
+from ..obs import OBS
 from .backends import (
     _CHUNK,
     _INT64_MAX,
@@ -67,6 +69,22 @@ from .backends import (
     _object_chunks,
     _sorted_multiset_subtract,
     register_backend,
+)
+
+# Import-time observability handles (see repro.hiddendb.backends).
+_MAPPED_HITS = OBS.counter(
+    "repro_rank_cache_hits_total", {"backend": "mapped"}
+)
+_MAPPED_MISSES = OBS.counter(
+    "repro_rank_cache_misses_total", {"backend": "mapped"}
+)
+_MAPPED_COMPACTIONS = OBS.counter(
+    "repro_backend_compactions_total", {"backend": "mapped"}
+)
+_MAPPED_REMAPS = OBS.counter("repro_mapped_remaps_total")
+_MAPPED_FSYNC_SECONDS = OBS.histogram("repro_mapped_fsync_seconds")
+_MAPPED_COMPACTION_SECONDS = OBS.histogram(
+    "repro_mapped_compaction_seconds"
 )
 
 #: Bits per limb of a wide key (63 keeps every limb a non-negative int64,
@@ -236,13 +254,22 @@ class MappedBackend:
         with open(path, "wb") as handle:
             handle.write(data.tobytes())
             handle.flush()
-            os.fsync(handle.fileno())
+            if OBS.enabled:
+                fsync_started = perf_counter()
+                os.fsync(handle.fileno())
+                _MAPPED_FSYNC_SECONDS.observe(
+                    perf_counter() - fsync_started
+                )
+            else:
+                os.fsync(handle.fileno())
         previous = self._run_path
         self._run_path = path
         if data.size:
             self._run = np.memmap(
                 path, dtype=RUN_DTYPE, mode="r", shape=data.shape
             )
+            if OBS.enabled:
+                _MAPPED_REMAPS.inc()
         else:
             self._run = np.empty(data.shape, dtype=RUN_DTYPE)
         if previous is not None:
@@ -325,6 +352,18 @@ class MappedBackend:
         """Merge the buffers into a fresh fsynced run file (O(n))."""
         if not (self._tail or self._dead):
             return
+        if not OBS.enabled:
+            self._compact_inner()
+            return
+        _MAPPED_COMPACTIONS.inc()
+        started = perf_counter()
+        try:
+            self._compact_inner()
+        finally:
+            # merge + write + fsync + remap, end to end
+            _MAPPED_COMPACTION_SECONDS.observe(perf_counter() - started)
+
+    def _compact_inner(self) -> None:
         if self._packed:
             # One vectorized multiset-subtract + concatenate-sort instead
             # of a per-key Python heap walk over the whole run.
@@ -465,7 +504,11 @@ class MappedBackend:
         """Number of stored keys strictly smaller than ``key``."""
         cached = self._rank_cache.get(key)
         if cached is not None:
+            if OBS.enabled:
+                _MAPPED_HITS.inc()
             return cached
+        if OBS.enabled:
+            _MAPPED_MISSES.inc()
         value = (
             self._run_bisect(key, "left")
             + bisect_left(self._tail, key)

@@ -23,10 +23,12 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from contextvars import ContextVar
+from time import perf_counter
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from ..obs import OBS
 from .backends import DEFAULT_BLOCK_SIZE
 from .epoch import StoreEpoch
 from .ranking import RandomScore, RankingPolicy, scores_for_batch
@@ -42,6 +44,10 @@ _epoch_pin: ContextVar["tuple[HiddenDatabase, StoreEpoch] | None"] = ContextVar(
     "repro_epoch_pin", default=None
 )
 
+# Import-time observability handles (see repro.obs).
+_PUBLISH_SECONDS = OBS.histogram("repro_epoch_publish_seconds")
+_PINNED_READERS = OBS.gauge("repro_epoch_pinned_readers")
+
 
 @contextmanager
 def reading_epoch(db: "HiddenDatabase", epoch: StoreEpoch):
@@ -53,10 +59,17 @@ def reading_epoch(db: "HiddenDatabase", epoch: StoreEpoch):
     is being churned and re-published concurrently.
     """
     token = _epoch_pin.set((db, epoch))
+    # Capture the enabled flag so a registry toggled mid-scope cannot
+    # unbalance the gauge (inc without dec or vice versa).
+    tracked = OBS.enabled
+    if tracked:
+        _PINNED_READERS.inc()
     try:
         yield epoch
     finally:
         _epoch_pin.reset(token)
+        if tracked:
+            _PINNED_READERS.dec()
 
 
 class HiddenDatabase:
@@ -144,7 +157,13 @@ class HiddenDatabase:
         write lock provides that); readers already pinned to the previous
         epoch are unaffected — their version stays readable until released.
         """
-        self._published = self.store.publish_epoch(self._round)
+        if not OBS.enabled:
+            self._published = self.store.publish_epoch(self._round)
+            return self._published
+        with OBS.span("round.publish_flip"):
+            started = perf_counter()
+            self._published = self.store.publish_epoch(self._round)
+            _PUBLISH_SECONDS.observe(perf_counter() - started)
         return self._published
 
     # ------------------------------------------------------------------

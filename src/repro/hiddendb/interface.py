@@ -39,9 +39,11 @@ Two query planes implement both strategies (selected by the process-wide
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Sequence
 
 from ..errors import StaleResultError
+from ..obs import OBS
 from .database import HiddenDatabase
 from .query import ConjunctiveQuery
 from .result import (
@@ -55,34 +57,76 @@ from .store import get_data_plane
 from .tuples import HiddenTuple
 
 
-class InterfaceStats:
-    """Simulator-side counters (a real site would keep these server-side)."""
+#: Registry handles per query status, created once at import so the hot
+#: path (``search``) never takes the registry's get-or-create lock.
+_STATUS_COUNTERS = {
+    QueryStatus.UNDERFLOW: OBS.counter(
+        "repro_queries_total", {"status": "underflow"}
+    ),
+    QueryStatus.VALID: OBS.counter(
+        "repro_queries_total", {"status": "valid"}
+    ),
+    QueryStatus.OVERFLOW: OBS.counter(
+        "repro_queries_total", {"status": "overflow"}
+    ),
+}
 
-    __slots__ = ("queries", "underflow", "valid", "overflow")
+
+class InterfaceStats:
+    """Simulator-side counters (a real site would keep these server-side).
+
+    Updates run under a per-instance lock, so observers reading during a
+    ``run_round(parallel=N)`` (telemetry, ``Engine.metrics()``) always see
+    a consistent ``queries == underflow + valid + overflow`` snapshot.
+    """
+
+    __slots__ = ("queries", "underflow", "valid", "overflow", "_lock")
 
     def __init__(self) -> None:
         self.queries = 0
         self.underflow = 0
         self.valid = 0
         self.overflow = 0
+        self._lock = threading.Lock()
 
     def record(self, status: QueryStatus) -> None:
-        self.queries += 1
-        if status is QueryStatus.UNDERFLOW:
-            self.underflow += 1
-        elif status is QueryStatus.VALID:
-            self.valid += 1
-        else:
-            self.overflow += 1
+        with self._lock:
+            self.queries += 1
+            if status is QueryStatus.UNDERFLOW:
+                self.underflow += 1
+            elif status is QueryStatus.VALID:
+                self.valid += 1
+            else:
+                self.overflow += 1
+        if OBS.enabled:
+            _STATUS_COUNTERS[status].inc()
+
+    def merge(self, other: "InterfaceStats") -> None:
+        """Fold another stats object into this one (both stay valid).
+
+        Snapshots ``other`` first, then adds under this instance's lock —
+        never holding both, so concurrent merges cannot deadlock.
+        """
+        snapshot = other.to_dict()
+        with self._lock:
+            self.queries += snapshot["queries"]
+            self.underflow += snapshot["underflow"]
+            self.valid += snapshot["valid"]
+            self.overflow += snapshot["overflow"]
+
+    def to_dict(self) -> dict[str, int]:
+        """Consistent counter snapshot (stable keys)."""
+        with self._lock:
+            return {
+                "queries": self.queries,
+                "underflow": self.underflow,
+                "valid": self.valid,
+                "overflow": self.overflow,
+            }
 
     def as_dict(self) -> dict[str, int]:
-        """Counter snapshot (stable keys; used by tests and reports)."""
-        return {
-            "queries": self.queries,
-            "underflow": self.underflow,
-            "valid": self.valid,
-            "overflow": self.overflow,
-        }
+        """Alias of :meth:`to_dict` (the pre-PR-9 name)."""
+        return self.to_dict()
 
 
 class TopKInterface:

@@ -46,6 +46,7 @@ from typing import Callable, Iterable, Iterator, Mapping, Sequence
 import numpy as np
 
 from ..errors import SchemaError
+from ..obs import OBS
 from .backends import (
     DEFAULT_BLOCK_SIZE,
     StorageBackend,
@@ -58,6 +59,9 @@ from .backends import (
 )
 from .schema import Schema
 from .tuples import HiddenTuple, TupleBatch
+
+#: Copy-on-write privatizations (import-time handle; see repro.obs).
+_PRIVATIZED_BLOCKS = OBS.counter("repro_epoch_privatized_blocks_total")
 
 __all__ = [
     "DATA_PLANES",
@@ -856,6 +860,8 @@ class _HeapBlock:
         self._tid_list = None
         self._score_list = None
         self.shared = False
+        if OBS.enabled:
+            _PRIVATIZED_BLOCKS.inc()
 
     def kill(self, row: int) -> None:
         self._unshare()

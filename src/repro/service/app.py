@@ -32,6 +32,7 @@ from typing import Callable
 from ..api.engine import Engine
 from ..core.estimators.base import RoundReport
 from ..errors import AdmissionError, ExperimentError, wire_error
+from ..obs import OBS
 from .governor import ACTION_SHRINK, Admission, BudgetGovernor
 from .protocol import (
     STATUS_DEFERRED,
@@ -57,6 +58,9 @@ DEFAULT_REPLAY_LIMIT = 1024
 #: A report event listener (called under the publish lock — keep it fast;
 #: the HTTP layer just enqueues into per-connection asyncio queues).
 EventListener = Callable[[dict], None]
+
+#: Import-time observability handle (see repro.obs).
+_SSE_BACKLOG = OBS.gauge("repro_sse_backlog_events")
 
 
 class ServiceApp:
@@ -275,6 +279,7 @@ class ServiceApp:
         return TelemetryResponse(
             round_index=self.engine.current_round,
             governor=self.governor.snapshot(),
+            metrics=self.engine.metrics(),
         )
 
     def health(self) -> HealthResponse:
@@ -313,6 +318,8 @@ class ServiceApp:
                 "report": report.to_dict(),
             }
             self._events.append(event)
+            if OBS.enabled:
+                _SSE_BACKLOG.set(len(self._events))
             for listener in tuple(self._listeners):
                 listener(event)
 

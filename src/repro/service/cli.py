@@ -24,6 +24,7 @@ import sys
 from ..api import Engine, EngineConfig, has_snapshot
 from ..data.synthetic import skewed_source
 from ..hiddendb.database import HiddenDatabase
+from ..obs import OBS
 from .app import ServiceApp
 from .governor import BudgetGovernor, GovernorConfig
 from .http import ServiceServer
@@ -74,6 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="default per-task round budget G")
     engine.add_argument("--report-log-limit", type=int, default=4096,
                         help="retained reports per task / engine log")
+    engine.add_argument(
+        "--observability", choices=("on", "off"), default="on",
+        help="repro.obs metrics/tracing plane (default %(default)s; "
+             "estimates are bit-identical either way) — serves "
+             "Prometheus text at GET /v1/metrics",
+    )
 
     durability = parser.add_argument_group("durability")
     durability.add_argument(
@@ -139,7 +146,12 @@ def build_app(args: argparse.Namespace) -> ServiceApp:
         total_queries_per_window=args.total_queries_per_window,
         max_tenants=args.max_tenants,
     ))
+    observability = args.observability == "on"
     if args.store_dir is not None and has_snapshot(args.store_dir):
+        if observability:
+            # The restored engine's saved config decides nothing here:
+            # the flag is this process's explicit choice.
+            OBS.enable()
         return ServiceApp.restore(
             args.store_dir,
             governor=governor,
@@ -167,6 +179,7 @@ def build_app(args: argparse.Namespace) -> ServiceApp:
         overlap=args.overlap,
         report_log_limit=args.report_log_limit,
         store_dir=args.store_dir,
+        observability=observability,
     )
     db = HiddenDatabase(
         source.schema,

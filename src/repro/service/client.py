@@ -73,6 +73,24 @@ class ServiceClient:
     def reports(self, task: str) -> dict:
         return self.request("GET", f"/v1/tasks/{task}/reports")
 
+    def metrics_text(self) -> str:
+        """``GET /v1/metrics`` — the raw Prometheus text exposition
+        (not JSON; scrape-format lines, see ``docs/observability.md``)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", "/v1/metrics")
+            response = connection.getresponse()
+            data = response.read()
+        finally:
+            connection.close()
+        if response.status >= 400:
+            raise ReproError(
+                f"GET /v1/metrics failed with HTTP {response.status}"
+            )
+        return data.decode("utf-8")
+
     def submit(self, **task_request) -> dict:
         """``POST /v1/tasks`` — keyword form of ``TaskRequest``."""
         return self.request("POST", "/v1/tasks", task_request)

@@ -39,12 +39,19 @@ from typing import Mapping
 
 from ..core.wire import stamp
 from ..errors import AdmissionError, ExperimentError
+from ..obs import OBS
 
 #: Ladder action names, in degradation order.
 ACTION_ALLOW = "allow"
 ACTION_SHRINK = "shrink_k"
 ACTION_WIDEN = "widen_rounds"
 ACTION_REFUSE = "refuse"
+
+#: Import-time observability handles, one per ladder outcome.
+_ACTION_COUNTERS = {
+    action: OBS.counter("repro_governor_actions_total", {"action": action})
+    for action in (ACTION_ALLOW, ACTION_SHRINK, ACTION_WIDEN, ACTION_REFUSE)
+}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -241,6 +248,8 @@ class BudgetGovernor:
             if remaining is None or remaining >= requested:
                 usage.consecutive_deferrals = 0
                 usage.last_action = ACTION_ALLOW
+                if OBS.enabled:
+                    _ACTION_COUNTERS[ACTION_ALLOW].inc()
                 return Admission(
                     ACTION_ALLOW, requested, requested, remaining
                 )
@@ -250,6 +259,8 @@ class BudgetGovernor:
                     usage.consecutive_deferrals = 0
                     usage.degraded_rounds += 1
                     usage.last_action = ACTION_SHRINK
+                    if OBS.enabled:
+                        _ACTION_COUNTERS[ACTION_SHRINK].inc()
                     return Admission(
                         ACTION_SHRINK, granted, requested, remaining, factor
                     )
@@ -257,9 +268,13 @@ class BudgetGovernor:
                 usage.consecutive_deferrals += 1
                 usage.deferred_rounds += 1
                 usage.last_action = ACTION_WIDEN
+                if OBS.enabled:
+                    _ACTION_COUNTERS[ACTION_WIDEN].inc()
                 return Admission(ACTION_WIDEN, 0, requested, remaining)
             usage.refused_rounds += 1
             usage.last_action = ACTION_REFUSE
+            if OBS.enabled:
+                _ACTION_COUNTERS[ACTION_REFUSE].inc()
             # The allowance resets when the *currently open* window ends
             # (which may be ahead of this round's window for a late
             # request); clamp to at least one round so a refusal at the

@@ -10,7 +10,8 @@ Method   Path                          Meaning
 =======  ============================  =====================================
 GET      ``/v1/healthz``               liveness + engine summary
 GET      ``/v1/ledger``                per-task budget accounting
-GET      ``/v1/telemetry``             governor usage snapshots
+GET      ``/v1/telemetry``             governor usage + metrics snapshot
+GET      ``/v1/metrics``               Prometheus text exposition
 GET      ``/v1/tasks/{name}/reports``  one tenant's retained reports
 GET      ``/v1/stream``                SSE stream of ``RoundReport`` events
 POST     ``/v1/tasks``                 submit an ``EstimationTask``
@@ -39,6 +40,7 @@ from __future__ import annotations
 import asyncio
 import json
 from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
 from urllib.parse import parse_qs, urlsplit
 
 from ..core.wire import stamp
@@ -47,11 +49,36 @@ from ..errors import (
     WireFormatError,
     http_status_of,
 )
+from ..obs import OBS
 from .app import ServiceApp
 from .protocol import RoundRequest, TaskRequest, error_response
 
 #: Largest accepted request body, bytes (we serve JSON control messages).
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Content type of the ``/v1/metrics`` Prometheus text exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Known endpoint labels (templated), keeping metric cardinality bounded
+#: no matter what paths clients probe.
+_ENDPOINT_LABELS = {
+    "/v1/healthz": "/v1/healthz",
+    "/v1/ledger": "/v1/ledger",
+    "/v1/telemetry": "/v1/telemetry",
+    "/v1/tasks": "/v1/tasks",
+    "/v1/rounds": "/v1/rounds",
+    "/v1/shutdown": "/v1/shutdown",
+}
+
+
+def _endpoint_label(path: str) -> str:
+    """A bounded-cardinality endpoint label for a request path."""
+    known = _ENDPOINT_LABELS.get(path)
+    if known is not None:
+        return known
+    if path.startswith("/v1/tasks/") and path.endswith("/reports"):
+        return "/v1/tasks/{name}/reports"
+    return "other"
 
 _STATUS_TEXT = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
@@ -150,7 +177,27 @@ class ServiceServer:
             if method == "GET" and path == "/v1/stream":
                 await self._stream(writer, query)
                 return
-            status, payload = await self._dispatch(method, path, body)
+            if method == "GET" and path == "/v1/metrics":
+                # Served outside _dispatch so the scrape itself never
+                # perturbs the request-latency histograms it reports.
+                await self._write_text(
+                    writer, 200, OBS.to_prometheus(),
+                    PROMETHEUS_CONTENT_TYPE,
+                )
+                return
+            if not OBS.enabled:
+                status, payload = await self._dispatch(method, path, body)
+            else:
+                started = perf_counter()
+                status, payload = await self._dispatch(method, path, body)
+                endpoint = _endpoint_label(path)
+                OBS.histogram(
+                    "repro_http_request_seconds", {"endpoint": endpoint}
+                ).observe(perf_counter() - started)
+                OBS.counter(
+                    "repro_http_requests_total",
+                    {"endpoint": endpoint, "status": str(status)},
+                ).inc()
             await self._write_json(writer, status, payload)
         except (
             ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError
@@ -263,9 +310,21 @@ class ServiceServer:
     # ------------------------------------------------------------------
     async def _write_json(self, writer, status: int, payload: dict) -> None:
         body = json.dumps(payload, allow_nan=False).encode("utf-8")
+        await self._write_body(writer, status, body, "application/json")
+
+    async def _write_text(
+        self, writer, status: int, text: str, content_type: str
+    ) -> None:
+        await self._write_body(
+            writer, status, text.encode("utf-8"), content_type
+        )
+
+    async def _write_body(
+        self, writer, status: int, body: bytes, content_type: str
+    ) -> None:
         writer.write(
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n".encode("latin-1")
         )

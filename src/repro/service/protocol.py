@@ -335,10 +335,16 @@ class LedgerResponse(WireForm):
 
 @dataclasses.dataclass
 class TelemetryResponse(WireForm):
-    """``GET /v1/telemetry`` response: the governor's usage snapshots."""
+    """``GET /v1/telemetry`` response: the governor's usage snapshots plus
+    the engine's observability snapshot.
+
+    ``governor`` keeps its pre-PR-9 shape for one release; ``metrics`` is
+    the stamped :meth:`repro.api.Engine.metrics` payload (old clients
+    ignore it — ``WireForm.from_wire`` is forward-tolerant)."""
 
     round_index: int
     governor: dict = dataclasses.field(default_factory=dict)
+    metrics: dict = dataclasses.field(default_factory=dict)
 
 
 @dataclasses.dataclass

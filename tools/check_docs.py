@@ -16,6 +16,11 @@ Two checks, both over the repo's markdown tree (``README.md``,
    be mentioned in the doc — so the operations guide cannot drift from
    the binary in either direction.
 
+3. **Metric catalog sync.**  ``docs/observability.md`` documents the
+   ``repro.obs`` metric catalog; every backticked ``repro_*`` name it
+   mentions must exist in :data:`repro.obs.CATALOG` and every catalog
+   name must be documented — both directions, like the flag check.
+
 Usage::
 
     python tools/check_docs.py          # exit 0 clean, 1 with findings
@@ -29,6 +34,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OPERATIONS_DOC = REPO_ROOT / "docs" / "operations.md"
+OBSERVABILITY_DOC = REPO_ROOT / "docs" / "observability.md"
 
 # [text](target) — target captured up to the closing paren; images share
 # the same syntax with a leading "!", which the pattern also matches.
@@ -97,9 +103,28 @@ def check_flags() -> list[str]:
     return problems
 
 
+def check_metrics() -> list[str]:
+    if not OBSERVABILITY_DOC.exists():
+        return [f"missing {OBSERVABILITY_DOC.relative_to(REPO_ROOT)}"]
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs import CATALOG
+
+    text = OBSERVABILITY_DOC.read_text(encoding="utf-8")
+    documented = set(re.findall(r"`(repro_[a-z0-9_]+)`", text))
+    actual = set(CATALOG)
+    problems = [
+        "docs/observability.md documents unknown metric: " + name
+        for name in sorted(documented - actual)
+    ] + [
+        "catalog metric missing from docs/observability.md: " + name
+        for name in sorted(actual - documented)
+    ]
+    return problems
+
+
 def main() -> int:
     files = _markdown_files()
-    problems = check_links(files) + check_flags()
+    problems = check_links(files) + check_flags() + check_metrics()
     for problem in problems:
         print(f"check_docs: {problem}")
     if problems:
@@ -107,7 +132,7 @@ def main() -> int:
         return 1
     print(
         f"check_docs: {len(files)} markdown files clean "
-        f"(links resolve, repro-serve flags in sync)"
+        f"(links resolve, repro-serve flags and metric catalog in sync)"
     )
     return 0
 
