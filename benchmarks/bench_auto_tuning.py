@@ -1,0 +1,223 @@
+"""Auto-tuning benchmark: profile shift, hand-picked grid vs ``auto``.
+
+Drives one seeded two-phase workload through the :class:`repro.api
+.Engine` facade under every hand-picked backend config *and* under
+``EngineConfig(auto=True)``:
+
+* **steady phase** — a small store (the paper's 10k-row regime, scaled)
+  with light insert-mostly churn and three estimator tenants.
+* **profile shift** — the store grows toward the 1M-row regime while the
+  churn pattern flips to delete-heavy bulk batches (the fig10/fig12
+  stress mix).
+
+The auto engine starts on whatever the cost model picks from priors,
+observes the live profile at every round flip, and re-shards online at
+the epoch-publish seam when the shift makes another backend cheaper.
+Because a migration copies content bit-for-bit and never advances the
+mutation epoch, every config — fixed or auto — must produce the *same*
+estimate trace; the builder asserts that before timing means anything.
+
+Gates (see ``meta``):
+
+* ``auto_vs_best``  — auto wall / best hand-picked wall ``<= 1.10 x``
+  (``REPRO_BENCH_AUTO_TOLERANCE``): self-tuning never loses more than
+  10% to the best config an operator could have frozen up front.
+* ``auto_vs_worst`` — auto beats the worst hand-picked config outright
+  on this profile-shifted scenario (``< 1.0``).
+
+Environment knobs::
+
+    REPRO_BENCH_AUTO_SMALL_N     steady-phase rows        (default 10_000)
+    REPRO_BENCH_AUTO_BIG_N       post-shift target rows   (default 400_000)
+    REPRO_BENCH_AUTO_TOLERANCE   auto-vs-best wall ceiling (default 1.10)
+    REPRO_TUNING_CPUS            pinned to 1 for the auto pass (set here)
+                                 so the decision sequence — and the gate
+                                 — is machine-independent; the CI runner
+                                 is single-core, so 1 is also the honest
+                                 budget there
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.api import Engine, EngineConfig, EstimationTask
+from repro.core.aggregates import count_all
+from repro.data.schedules import FreshTupleSchedule, apply_round
+from repro.data.synthetic import skewed_source
+from repro.experiments.figures.common import FigureResult
+
+ALGORITHMS = ("RESTART", "REISSUE", "RS")
+
+SMALL_N = int(os.environ.get("REPRO_BENCH_AUTO_SMALL_N", "10000"))
+BIG_N = int(os.environ.get("REPRO_BENCH_AUTO_BIG_N", "400000"))
+TOLERANCE = float(os.environ.get("REPRO_BENCH_AUTO_TOLERANCE", "1.10"))
+
+STEADY_ROUNDS = 3
+SHIFT_ROUNDS = 6
+
+#: The hand-picked grid an operator could have frozen up front.
+HAND_PICKED = {
+    "blocked": {"backend": "blocked"},
+    "packed": {"backend": "packed"},
+    "sharded4": {"backend": "sharded", "shards": 4, "parallelism": 4},
+    "mapped": {"backend": "mapped"},
+}
+
+
+def _snapshot(reports) -> dict:
+    return {
+        name: (report.estimates, report.queries_used)
+        for name, report in sorted(reports.items())
+    }
+
+
+def _run_workload(config_kwargs: dict, budget: int, seed: int):
+    """One full steady+shift pass; returns (round walls, trace, report)."""
+    source = skewed_source(
+        [2 + (i % 5) for i in range(10)], exponent=0.4, seed=11
+    )
+    config = EngineConfig(
+        k=50, budget_per_round=budget, seed=seed, **config_kwargs
+    )
+    engine = Engine(config, schema=source.schema)
+    walls: list[float] = []
+    trace: list[dict] = []
+    started = time.perf_counter()
+    engine.load(source.batch_columns(SMALL_N))
+    for index, algorithm in enumerate(ALGORITHMS):
+        engine.submit(EstimationTask(
+            algorithm, [count_all()], algorithm, seed=100 + index,
+        ))
+    rng = random.Random(seed + 5)
+    # Steady phase: light, insert-mostly churn on the small store.
+    schedule = FreshTupleSchedule(
+        source,
+        inserts_per_round=max(1, SMALL_N // 20),
+        delete_fraction=0.01,
+    )
+    for position in range(STEADY_ROUNDS):
+        round_started = time.perf_counter()
+        if position:
+            engine.apply_updates(lambda db: apply_round(db, schedule, rng))
+            engine.advance_round()
+        trace.append(_snapshot(engine.run_round()))
+        walls.append(time.perf_counter() - round_started)
+    # Profile shift: bulk growth toward BIG_N with delete-heavy churn.
+    # Content is identical across configs at this point, so the derived
+    # batch sizes are too — the traces stay comparable bit-for-bit.
+    grow = max(1, (BIG_N - len(engine.db)) // SHIFT_ROUNDS)
+    for _ in range(SHIFT_ROUNDS):
+        round_started = time.perf_counter()
+        engine.load(source.batch_columns(grow))
+        engine.apply_updates(
+            lambda db: db.bulk_delete(db.store.random_tids(rng, grow // 4))
+        )
+        engine.advance_round()
+        trace.append(_snapshot(engine.run_round()))
+        walls.append(time.perf_counter() - round_started)
+    total = time.perf_counter() - started
+    return walls, trace, total, engine.tuning_report()
+
+
+def _run_auto(budget: int, seed: int):
+    # The auto pass pins its cpu budget so the decision sequence (and
+    # therefore this benchmark) is machine-independent.
+    previous = os.environ.get("REPRO_TUNING_CPUS")
+    os.environ["REPRO_TUNING_CPUS"] = "1"
+    try:
+        return _run_workload({"auto": True}, budget, seed)
+    finally:
+        if previous is None:
+            del os.environ["REPRO_TUNING_CPUS"]
+        else:
+            os.environ["REPRO_TUNING_CPUS"] = previous
+
+
+def run_auto_tuning(budget: int = 300, seed: int = 3) -> FigureResult:
+    walls: dict[str, list[float]] = {}
+    totals: dict[str, float] = {}
+    traces: dict[str, list] = {}
+    for label, kwargs in HAND_PICKED.items():
+        walls[label], traces[label], totals[label], _ = _run_workload(
+            dict(kwargs), budget, seed
+        )
+    walls["auto"], traces["auto"], totals["auto"], report = _run_auto(
+        budget, seed
+    )
+    reference = traces["auto"]
+    for label, trace in traces.items():
+        assert trace == reference, (
+            f"config {label!r} changed the estimates — backend choice and "
+            f"online migration are operational knobs and must be "
+            f"bit-identical"
+        )
+    hand = {label: totals[label] for label in HAND_PICKED}
+    best_label = min(hand, key=hand.get)
+    worst_label = max(hand, key=hand.get)
+    # Wall clocks on a shared runner are noisy; the decision sequence is
+    # deterministic but the ratio gate is not.  If the first measurement
+    # would fail the gate, re-measure the two configs it compares and
+    # take per-config minima before judging.
+    retried = False
+    if totals["auto"] / hand[best_label] > TOLERANCE:
+        retried = True
+        best_walls, best_trace, best_total, _ = _run_workload(
+            dict(HAND_PICKED[best_label]), budget, seed
+        )
+        auto_walls, auto_trace, auto_total, retry_report = _run_auto(
+            budget, seed
+        )
+        assert best_trace == reference and auto_trace == reference
+        if best_total < hand[best_label]:
+            hand[best_label] = totals[best_label] = best_total
+            walls[best_label] = best_walls
+        if auto_total < totals["auto"]:
+            totals["auto"] = auto_total
+            walls["auto"] = auto_walls
+            report = retry_report
+        best_label = min(hand, key=hand.get)
+    decisions = [d["action"] for d in report["decisions"]]
+    return FigureResult(
+        "auto_tuning",
+        f"profile shift {SMALL_N}->{BIG_N} rows, hand-picked grid vs auto",
+        x_label="round",
+        y_label="wall seconds",
+        xs=list(range(1, STEADY_ROUNDS + SHIFT_ROUNDS + 1)),
+        series=walls,
+        notes=(
+            f"best hand-picked: {best_label} {hand[best_label]:.2f}s, "
+            f"worst: {worst_label} {hand[worst_label]:.2f}s, "
+            f"auto: {totals['auto']:.2f}s "
+            f"(final backend {report['effective']['backend']}, "
+            f"decisions {'/'.join(decisions)})"
+        ),
+        meta={
+            "small_n": SMALL_N,
+            "big_n": BIG_N,
+            "budget": budget,
+            "wall_totals": totals,
+            "best_hand_picked": best_label,
+            "worst_hand_picked": worst_label,
+            "auto_vs_best": totals["auto"] / hand[best_label],
+            "auto_vs_worst": totals["auto"] / hand[worst_label],
+            "auto_final": report["effective"],
+            "auto_decisions": decisions,
+            "retried": retried,
+            "estimates_identical": True,
+        },
+    )
+
+
+def test_auto_tuning(figure_bench):
+    figure = figure_bench(run_auto_tuning)
+    assert figure.meta["estimates_identical"]
+    # Auto observed the shift and acted on it at a round flip.
+    assert "migrate" in figure.meta["auto_decisions"], figure.meta
+    # Never loses more than the tolerance to the best frozen config...
+    assert figure.meta["auto_vs_best"] <= TOLERANCE, figure.meta
+    # ...and beats the worst frozen config outright on this shifted
+    # scenario (the whole point of not having to guess up front).
+    assert figure.meta["auto_vs_worst"] < 1.0, figure.meta

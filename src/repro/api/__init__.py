@@ -44,6 +44,12 @@ from ..obs import (
     set_default_observability,
     using_observability,
 )
+from ..tuning import (
+    CostModel,
+    TuningController,
+    TuningDecision,
+    WorkloadProfile,
+)
 from .config import (
     ROUND_EXECUTORS,
     SEED_POLICIES,
@@ -66,6 +72,10 @@ __all__ = [
     "SEED_POLICIES",
     "TaskHandle",
     "OBS",
+    "CostModel",
+    "TuningController",
+    "TuningDecision",
+    "WorkloadProfile",
     "has_snapshot",
     "load_engine",
     "save_engine",

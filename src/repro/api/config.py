@@ -170,6 +170,16 @@ class EngineConfig:
         var > off).  Estimates are bit-identical either way; enabling is
         engine-wide (the registry is process-global) and an engine never
         *disables* a registry another engine enabled.
+    auto:
+        Enable cost-based self-tuning (:mod:`repro.tuning`, see
+        ``docs/tuning.md``): the engine picks backend / shard count /
+        parallelism from a cost model at construction and re-evaluates at
+        every ``advance_round``, migrating the store's indexes online at
+        the epoch-publish seam when the observed profile shifts.
+        Explicitly set fields (``backend``, ``shards``, ``parallelism``)
+        act as pins the tuner never overrides — the per-knob opt-out.
+        Estimates are bit-identical with tuning on or off; only wall
+        time changes.
     """
 
     backend: str | None = None
@@ -186,12 +196,15 @@ class EngineConfig:
     report_log_limit: int | None = None
     store_dir: str | None = None
     observability: bool | None = None
+    auto: bool = False
 
     def __post_init__(self) -> None:
         if self.observability is not None and not isinstance(
             self.observability, bool
         ):
             raise ExperimentError("observability must be a bool or None")
+        if not isinstance(self.auto, bool):
+            raise ExperimentError("auto must be a bool")
         if self.k < 1:
             raise ExperimentError("k must be at least 1")
         if self.budget_per_round < 1:

@@ -70,6 +70,12 @@ from ..hiddendb.ranking import RankingPolicy
 from ..hiddendb.schema import Schema
 from ..hiddendb.store import get_data_plane, overriding_data_plane
 from ..obs import OBS
+from ..tuning import (
+    ACTION_MIGRATE,
+    Candidate,
+    TuningController,
+    WorkloadProfile,
+)
 from .config import EngineConfig
 
 #: Task-name slot of the truncation markers ``stream_reports()`` yields
@@ -317,12 +323,32 @@ class Engine:
         # opting in must never switch off another engine's plane.
         if self.config.resolved_observability():
             OBS.enable()
+        #: Self-tuning controller (``config.auto``); ``None`` when the
+        #: config is fully hand-picked.  Explicit config fields become
+        #: pins the tuner must respect — the per-knob opt-out.
+        self._tuning: TuningController | None = None
+        self._tuning_marks: dict | None = None
+        if self.config.auto:
+            pinned: dict = {}
+            if self.config.backend is not None:
+                pinned["backend"] = self.config.backend
+            if self.config.shards is not None:
+                pinned["shards"] = self.config.shards
+            if self.config.parallelism is not None:
+                pinned["parallelism"] = self.config.parallelism
+            self._tuning = TuningController(pinned=pinned)
         if db is None:
             if schema is None:
                 raise ExperimentError(
                     "Engine needs either an existing db or a schema to "
                     "build one"
                 )
+            if self._tuning is not None:
+                # Construction is the first safe seam: nothing exists
+                # yet, so the initial (priors-only) choice costs nothing
+                # to apply.
+                choice = self._tuning.initial_decision().choice
+                self.config = self._config_with_choice(choice)
             db = HiddenDatabase(
                 schema,
                 ranking=ranking,
@@ -347,6 +373,14 @@ class Engine:
                 f"supplied database uses backend {db.backend!r}"
             )
         self.db = db
+        if self._tuning is not None and self._tuning.current is None:
+            # An existing db stands as built: adopt it as the tuner's
+            # current choice (later observations may still migrate it).
+            self._tuning.current = Candidate(
+                db.backend,
+                self.config.shards if db.backend == "sharded" else None,
+                self.config.resolved_parallelism(),
+            )
         #: Session lock: task table + report log.  Held only for short,
         #: bounded critical sections — never across estimator execution —
         #: so ``stream_reports()`` / ``budget_ledger()`` from other
@@ -520,12 +554,131 @@ class Engine:
         store (with all churn applied so far) is frozen into a new
         :class:`~repro.hiddendb.epoch.StoreEpoch` and installed as the
         version the next ``run_round`` pins its estimators to.
+
+        With ``config.auto`` this is additionally the tuning seam: the
+        controller observes the windowed workload profile and, when the
+        cost model predicts a big enough win, migrates the store's
+        indexes to a new backend/shard layout right here — after the
+        publish flip, so overlap-mode readers keep serving the epoch
+        just published while the O(n) rebuild proceeds, and content is
+        untouched, so estimates are bit-identical across the swap.
         """
         with self._write_scoped():
             round_index = self.db.advance_round()
             if self.config.overlap:
                 self.db.publish_epoch()
+            if self._tuning is not None:
+                self._auto_tune()
             return round_index
+
+    # ------------------------------------------------------------------
+    # Self-tuning (config.auto; see repro.tuning and docs/tuning.md)
+    # ------------------------------------------------------------------
+    def _config_with_choice(self, choice: Candidate) -> EngineConfig:
+        """The engine config with a tuning choice folded in.
+
+        Pinned fields are unchanged by construction — the controller's
+        candidate grid never contradicts a pin — so the uniform replace
+        is safe.
+        """
+        return self.config.replace(
+            backend=choice.backend,
+            shards=choice.shards if choice.backend == "sharded" else None,
+            parallelism=choice.parallelism,
+        )
+
+    def _tuning_profile(self) -> WorkloadProfile:
+        """The workload window since the previous tuning observation.
+
+        Built purely from the engine's own deterministic counters — live
+        tuple count, the database's tid allocator (every inserted row
+        consumes exactly one tid, on both data planes), the tenants'
+        lifetime query totals, and the round index — so the profile
+        stream replays bit-identically and never depends on wall clock
+        or the observability plane being on.
+        """
+        marks = self._tuning_marks or {}
+        n = len(self.db.store)
+        allocated = self.db._next_tid
+        with self._lock:
+            queries = sum(
+                handle.queries_total for handle in self._tasks.values()
+            )
+            tenants = len(self._tasks)
+        round_index = self.db._round
+        rounds = max(1, round_index - marks.get("round_index",
+                                                round_index - 1))
+        # Row-accurate churn: inserts come straight off the tid
+        # allocator; deletes are whatever inserts did not show up as
+        # size growth.
+        inserts = max(0, allocated - marks.get("allocated", 0))
+        grew = n - marks.get("store_size", 0)
+        deletes = max(0, inserts - grew)
+        churn_total = inserts + deletes
+        delete_share = deletes / churn_total if churn_total > 0 else 0.0
+        queries_delta = max(0, queries - marks.get("queries_total", 0))
+        self._tuning_marks = {
+            "round_index": round_index,
+            "allocated": allocated,
+            "store_size": n,
+            "queries_total": queries,
+        }
+        return WorkloadProfile(
+            store_size=n,
+            churn_per_round=churn_total / rounds,
+            delete_share=delete_share,
+            queries_per_round=queries_delta / rounds,
+            tenants=tenants,
+            rounds=rounds,
+        )
+
+    def _auto_tune(self) -> None:
+        """One controller observation; applies a migrate decision.
+
+        Called from ``advance_round`` under the writer scope (and after
+        the publish flip in overlap mode), which is exactly the
+        serialization the migration seam requires.
+        """
+        decision = self._tuning.observe(self._tuning_profile())
+        if decision.action != ACTION_MIGRATE:
+            return
+        choice = decision.choice
+        config = self._config_with_choice(choice)
+        # Derive factory options from the *new* config so knobs the
+        # candidate does not model (a mapped run directory under
+        # store_dir, the sharded dispatch width) come along too.
+        options = config.backend_factory_options()
+        if (
+            choice.backend != self.db.backend
+            or options != dict(self.db.store.backend_options)
+        ):
+            # Only a changed storage layout needs the O(n) rebuild; a
+            # parallelism-only decision just rebinds the config.
+            self.db.migrate_backend(choice.backend, options)
+        self.config = config
+
+    def tuning_report(self) -> dict:
+        """A stamped, strict-JSON audit of the self-tuning plane.
+
+        Always callable: with ``auto=False`` it reports
+        ``enabled: false`` and the (hand-picked) effective config, so
+        the service telemetry block has one shape either way.
+        """
+        from ..core.wire import stamp
+
+        payload: dict = {
+            "enabled": self._tuning is not None,
+            "backend": self.backend,
+            "effective": {
+                "backend": self.config.resolved_backend(),
+                "shards": self.config.shards,
+                "parallelism": self.config.resolved_parallelism(),
+                "overlap": self.config.overlap,
+            },
+        }
+        if self._tuning is not None:
+            payload.update(self._tuning.report())
+        return stamp(payload)
 
     # ------------------------------------------------------------------
     # Task lifecycle

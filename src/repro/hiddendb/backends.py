@@ -95,6 +95,12 @@ _SHARDED_MISSES = OBS.counter(
 )
 _MERGE_ADD_ROWS = OBS.histogram("repro_bulk_merge_rows", {"op": "add"})
 _MERGE_REMOVE_ROWS = OBS.histogram("repro_bulk_merge_rows", {"op": "remove"})
+_PACKED_REFREEZE_REUSED = OBS.counter(
+    "repro_epoch_refreeze_reused_total", {"backend": "packed"}
+)
+_SHARDED_REFREEZE_REUSED = OBS.counter(
+    "repro_epoch_refreeze_reused_total", {"backend": "sharded"}
+)
 
 #: Largest key a packed ``array('q')`` run can hold.
 _INT64_MAX = 2**63 - 1
@@ -391,7 +397,9 @@ class PackedArrayBackend:
     """
 
     __slots__ = ("_run", "_tail", "_dead", "_size", "_packed", "_min_buffer",
-                 "_rank_cache", "_key_bound", "_hi_shift", "_run_hi")
+                 "_rank_cache", "_key_bound", "_hi_shift", "_run_hi",
+                 "_freeze_rev", "_frozen_rev", "_frozen_view",
+                 "_buffers_shared")
 
     def __init__(
         self,
@@ -402,6 +410,10 @@ class PackedArrayBackend:
         self._packed = key_bound is not None and 0 <= key_bound <= _INT64_MAX
         self._min_buffer = min_buffer
         self._key_bound = key_bound
+        self._freeze_rev = 0
+        self._frozen_rev = -1
+        self._frozen_view = None
+        self._buffers_shared = False
         # Wide-key probe plan: shift every key so the result fits int64.
         if key_bound is not None and not self._packed:
             self._hi_shift = max(0, int(key_bound).bit_length() - 63)
@@ -442,8 +454,23 @@ class PackedArrayBackend:
         return max(self._min_buffer, len(self._run) >> 3)
 
     def _dirty(self) -> None:
+        self._freeze_rev += 1
         if self._rank_cache:
             self._rank_cache.clear()
+
+    def _privatize_buffers(self) -> None:
+        """Copy-on-write the tail/dead buffers a frozen view shares.
+
+        :meth:`_snapshot_view` hands the *live* buffer lists to the frozen
+        clone by reference (an O(1) publish flip); the first in-place
+        buffer mutation afterwards must therefore copy them so the
+        immutable epoch never observes post-flip churn.  Rebinding
+        assignments (``self._tail = ...``) are always safe and skip this.
+        """
+        if self._buffers_shared:
+            self._tail = list(self._tail)
+            self._dead = list(self._dead)
+            self._buffers_shared = False
 
     def _maybe_compact(self) -> None:
         if len(self._tail) + len(self._dead) > self._buffer_limit():
@@ -468,6 +495,7 @@ class PackedArrayBackend:
 
     def add(self, key: int) -> None:
         """Insert ``key`` keeping order; duplicates are allowed."""
+        self._privatize_buffers()
         insort(self._tail, key)
         self._size += 1
         self._dirty()
@@ -536,6 +564,7 @@ class PackedArrayBackend:
         self._replace_run(merged)
 
     def _remove_one(self, key: int) -> None:
+        self._privatize_buffers()
         position = bisect_left(self._tail, key)
         if position < len(self._tail) and self._tail[position] == key:
             del self._tail[position]
@@ -693,8 +722,10 @@ class PackedArrayBackend:
         yield from heap_merge(self._iter_live_run(), list(self._tail))
 
     def _snapshot_view(self):
-        """A point-in-time clone for frozen reads: the (immutable) run is
-        shared by reference, the small tail/dead buffers are copied, and
+        """A point-in-time clone for frozen reads: the (immutable) run
+        *and* the tail/dead buffers are shared by reference — the live
+        side privatizes the buffers on its next in-place mutation
+        (:meth:`_privatize_buffers`), so the flip itself is O(1) — and
         the rank cache starts fresh.  Reads on the clone run the exact
         live query code over state that can never change."""
         clone = object.__new__(type(self))
@@ -702,9 +733,14 @@ class PackedArrayBackend:
             if name == "__weakref__":
                 continue
             setattr(clone, name, getattr(self, name))
-        clone._tail = list(self._tail)
-        clone._dead = list(self._dead)
         clone._rank_cache = {}
+        # The clone must not retain the previous epoch's frozen view (an
+        # unbounded chain of epochs otherwise) and never mutates, so its
+        # shared-buffer flag is moot but kept True for clarity.
+        clone._frozen_view = None
+        clone._frozen_rev = -1
+        clone._buffers_shared = True
+        self._buffers_shared = True
         return clone
 
     def freeze(self):
@@ -715,20 +751,35 @@ class PackedArrayBackend:
         (``_install_run`` / ``_replace_run`` build fresh ones), so the
         view stays a valid snapshot forever at zero copy cost — the
         property the epoch publish flip relies on.  With buffered churn
-        pending, the view wraps a clone that shares the run and copies
-        only the small tail/dead buffers — a publish flip costs O(churn),
-        never O(n), exactly like the live lazy-merge read path.
+        pending, the view wraps a clone that shares the run *and* the
+        tail/dead buffers by reference (the live side copies them on its
+        next in-place mutation), so a publish flip is O(1) here.
+
+        Re-freezing with no content change since the previous freeze
+        returns the previous frozen view unchanged — back-to-back flips
+        under light churn only rebuild the views whose backend actually
+        mutated (counted by ``repro_epoch_refreeze_reused_total``).
         """
         from .epoch import FrozenBuffered, FrozenRun
 
+        if self._frozen_view is not None and (
+            self._frozen_rev == self._freeze_rev
+        ):
+            if OBS.enabled:
+                _PACKED_REFREEZE_REUSED.inc()
+            return self._frozen_view
         if self._tail or self._dead:
-            return FrozenBuffered(self._snapshot_view())
-        return FrozenRun(
-            self._run,
-            run_hi=self._run_hi,
-            hi_shift=self._hi_shift,
-            key_bound=self._key_bound,
-        )
+            frozen = FrozenBuffered(self._snapshot_view())
+        else:
+            frozen = FrozenRun(
+                self._run,
+                run_hi=self._run_hi,
+                hi_shift=self._hi_shift,
+                key_bound=self._key_bound,
+            )
+        self._frozen_view = frozen
+        self._frozen_rev = self._freeze_rev
+        return frozen
 
     def check_invariants(self) -> None:
         """Validate internal structure (used by property tests)."""
@@ -773,7 +824,8 @@ class ShardedBackend:
     """
 
     __slots__ = ("_shards", "num_shards", "inner_name", "_size",
-                 "_rank_cache", "_workers")
+                 "_rank_cache", "_workers", "_freeze_rev", "_frozen_rev",
+                 "_frozen_view")
 
     def __init__(
         self,
@@ -794,6 +846,9 @@ class ShardedBackend:
         self._size = 0
         self._rank_cache: dict[int, int] = {}
         self._workers = max(int(workers or 0), 0)
+        self._freeze_rev = 0
+        self._frozen_rev = -1
+        self._frozen_view = None
 
     def __len__(self) -> int:
         return self._size
@@ -802,6 +857,7 @@ class ShardedBackend:
         return self._shards[key % self.num_shards]
 
     def _dirty(self) -> None:
+        self._freeze_rev += 1
         if self._rank_cache:
             self._rank_cache.clear()
 
@@ -1037,11 +1093,23 @@ class ShardedBackend:
         """
         from .epoch import FrozenSharded, freeze_backend
 
-        return FrozenSharded(
+        if self._frozen_view is not None and (
+            self._frozen_rev == self._freeze_rev
+        ):
+            if OBS.enabled:
+                _SHARDED_REFREEZE_REUSED.inc()
+            return self._frozen_view
+        # Unchanged shards reuse their own previous frozen view through
+        # the inner engines' freeze memoization, so a light-churn flip
+        # rebuilds only the composite shell plus the dirty shards.
+        frozen = FrozenSharded(
             [freeze_backend(shard) for shard in self._shards],
             num_shards=self.num_shards,
             workers=self._workers,
         )
+        self._frozen_view = frozen
+        self._frozen_rev = self._freeze_rev
+        return frozen
 
     def check_invariants(self) -> None:
         """Validate shard placement, sizes, and every inner engine."""
@@ -1075,6 +1143,46 @@ _default_backend = "blocked"
 #: without widening every constructor signature in between; keying by
 #: name keeps one engine's defaults from leaking into another's factory.
 _default_backend_options: dict[str, dict] = {}
+
+
+#: Relative cost signatures of the shipped storage engines, consumed by
+#: the :mod:`repro.tuning` cost model.  Unitless ratios on a common scale
+#: (``blocked`` probe = 1.0), NOT wall-clock predictions: ``probe`` is the
+#: per-rank-probe cost factor, ``bulk_per_row`` the per-row bulk
+#: add/remove maintenance factor, ``round_fixed`` a per-round fixed
+#: overhead in probe-equivalents (dispatch, fsync), ``delete_penalty``
+#: how much a pure-delete churn mix inflates maintenance (dense layouts
+#: compact on delete, sorted lists just drop), ``parallel_maintenance``
+#: whether bulk maintenance divides across workers, and ``persistent``
+#: whether runs survive the process.  Extensions register their engine's
+#: signature here (plain dict assignment) so the tuner can score it.
+BACKEND_COST_SIGNATURES: dict[str, dict] = {
+    "blocked": {
+        "probe": 1.0, "bulk_per_row": 1.0, "round_fixed": 0.0,
+        "delete_penalty": 0.3,
+        "parallel_maintenance": False, "persistent": False,
+    },
+    "packed": {
+        # Dense sorted arrays: cheapest probes and appends, but deletes
+        # force compaction of the packed runs.
+        "probe": 0.9, "bulk_per_row": 0.9, "round_fixed": 0.0,
+        "delete_penalty": 3.5,
+        "parallel_maintenance": False, "persistent": False,
+    },
+    "sharded": {
+        # Per-row work costs more (composite rank merge), but bulk
+        # maintenance splits across shard workers and each shard adds
+        # per-round dispatch overhead.
+        "probe": 1.15, "bulk_per_row": 1.4, "round_fixed": 400.0,
+        "delete_penalty": 1.0,
+        "parallel_maintenance": True, "persistent": False,
+    },
+    "mapped": {
+        "probe": 1.35, "bulk_per_row": 1.5, "round_fixed": 800.0,
+        "delete_penalty": 2.0,
+        "parallel_maintenance": False, "persistent": True,
+    },
+}
 
 
 def register_backend(name: str, factory: BackendFactory) -> None:

@@ -82,6 +82,9 @@ _MAPPED_COMPACTIONS = OBS.counter(
     "repro_backend_compactions_total", {"backend": "mapped"}
 )
 _MAPPED_REMAPS = OBS.counter("repro_mapped_remaps_total")
+_MAPPED_REFREEZE_REUSED = OBS.counter(
+    "repro_epoch_refreeze_reused_total", {"backend": "mapped"}
+)
 _MAPPED_FSYNC_SECONDS = OBS.histogram("repro_mapped_fsync_seconds")
 _MAPPED_COMPACTION_SECONDS = OBS.histogram(
     "repro_mapped_compaction_seconds"
@@ -168,7 +171,8 @@ class MappedBackend:
     __slots__ = (
         "directory", "_run", "_run_path", "_generation", "_limbs",
         "_packed", "_tail", "_dead", "_size", "_min_buffer",
-        "_rank_cache", "_key_bound", "_finalizer", "__weakref__",
+        "_rank_cache", "_key_bound", "_finalizer", "_freeze_rev",
+        "_frozen_rev", "_frozen_view", "_buffers_shared", "__weakref__",
     )
 
     def __init__(
@@ -190,6 +194,10 @@ class MappedBackend:
         )
         self._run_path: str | None = None
         self._generation = 0
+        self._freeze_rev = 0
+        self._frozen_rev = -1
+        self._frozen_view = None
+        self._buffers_shared = False
         self._install_run(sorted(keys))
         self._tail: list[int] = []
         self._dead: list[int] = []
@@ -341,8 +349,18 @@ class MappedBackend:
         return max(self._min_buffer, len(self._run) >> 3)
 
     def _dirty(self) -> None:
+        self._freeze_rev += 1
         if self._rank_cache:
             self._rank_cache.clear()
+
+    def _privatize_buffers(self) -> None:
+        """Copy-on-write the tail/dead buffers a frozen view shares (see
+        :meth:`repro.hiddendb.backends.PackedArrayBackend
+        ._privatize_buffers`)."""
+        if self._buffers_shared:
+            self._tail = list(self._tail)
+            self._dead = list(self._dead)
+            self._buffers_shared = False
 
     def _maybe_compact(self) -> None:
         if len(self._tail) + len(self._dead) > self._buffer_limit():
@@ -377,6 +395,7 @@ class MappedBackend:
 
     def add(self, key: int) -> None:
         """Insert ``key`` keeping order; duplicates are allowed."""
+        self._privatize_buffers()
         insort(self._tail, key)
         self._size += 1
         self._dirty()
@@ -440,6 +459,7 @@ class MappedBackend:
         self._replace_run(merged)
 
     def _remove_one(self, key: int) -> None:
+        self._privatize_buffers()
         position = bisect_left(self._tail, key)
         if position < len(self._tail) and self._tail[position] == key:
             del self._tail[position]
@@ -568,16 +588,19 @@ class MappedBackend:
         """A point-in-time clone for frozen reads: the mapped run (and
         its fd) is shared by reference — it survives any later compaction
         because runs are replaced, never mutated, and an unlinked mapping
-        lives until released — the small tail/dead buffers are copied,
-        and the rank cache starts fresh."""
+        lives until released — the tail/dead buffers are shared too (the
+        live side privatizes them on its next in-place mutation), and the
+        rank cache starts fresh."""
         clone = object.__new__(type(self))
         for name in self.__slots__:
             if name == "__weakref__":
                 continue
             setattr(clone, name, getattr(self, name))
-        clone._tail = list(self._tail)
-        clone._dead = list(self._dead)
         clone._rank_cache = {}
+        clone._frozen_view = None
+        clone._frozen_rev = -1
+        clone._buffers_shared = True
+        self._buffers_shared = True
         return clone
 
     def freeze(self):
@@ -593,11 +616,21 @@ class MappedBackend:
         """
         from .epoch import FrozenBuffered, FrozenRun
 
+        if self._frozen_view is not None and (
+            self._frozen_rev == self._freeze_rev
+        ):
+            if OBS.enabled:
+                _MAPPED_REFREEZE_REUSED.inc()
+            return self._frozen_view
         if self._tail or self._dead:
-            return FrozenBuffered(self._snapshot_view())
-        if self._packed:
-            return FrozenRun(np.asarray(self._run, dtype=np.int64))
-        return _FrozenMappedRun(self._run, self._limbs)
+            frozen = FrozenBuffered(self._snapshot_view())
+        elif self._packed:
+            frozen = FrozenRun(np.asarray(self._run, dtype=np.int64))
+        else:
+            frozen = _FrozenMappedRun(self._run, self._limbs)
+        self._frozen_view = frozen
+        self._frozen_rev = self._freeze_rev
+        return frozen
 
     def check_invariants(self) -> None:
         """Validate internal structure (used by property tests)."""

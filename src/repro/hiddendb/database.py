@@ -150,6 +150,24 @@ class HiddenDatabase:
             return pin[1]
         return self.store
 
+    def migrate_backend(
+        self,
+        backend: str | None,
+        backend_options: Mapping | None = None,
+    ) -> str:
+        """Rebuild the store's indexes on a new backend, atomically.
+
+        A thin forward to :meth:`TupleStore.migrate_backend` — same
+        serialization contract as :meth:`publish_epoch` (callers hold the
+        engine write lock), same guarantee: content and mutation epoch are
+        untouched, so estimates are bit-identical across the swap.
+        Readers pinned to a published epoch keep their frozen version.
+        """
+        if not OBS.enabled:
+            return self.store.migrate_backend(backend, backend_options)
+        with OBS.span("tuning.migrate_backend"):
+            return self.store.migrate_backend(backend, backend_options)
+
     def publish_epoch(self) -> StoreEpoch:
         """Freeze the live store and install it as the published epoch.
 

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from bisect import bisect_left, bisect_right, insort
 from contextvars import ContextVar
 from contextlib import contextmanager
@@ -62,6 +63,10 @@ from .tuples import HiddenTuple, TupleBatch
 
 #: Copy-on-write privatizations (import-time handle; see repro.obs).
 _PRIVATIZED_BLOCKS = OBS.counter("repro_epoch_privatized_blocks_total")
+_BLOCKED_REFREEZE_REUSED = OBS.counter(
+    "repro_epoch_refreeze_reused_total", {"backend": "blocked"}
+)
+_MIGRATION_SECONDS = OBS.histogram("repro_tuning_migration_seconds")
 
 __all__ = [
     "DATA_PLANES",
@@ -217,7 +222,8 @@ class SortedKeyList:
     * :meth:`iter_range` over a half-open key interval.
     """
 
-    __slots__ = ("_blocks", "_maxes", "_size", "_block_size")
+    __slots__ = ("_blocks", "_maxes", "_size", "_block_size",
+                 "_freeze_rev", "_frozen_rev", "_frozen_view")
 
     def __init__(
         self,
@@ -225,6 +231,9 @@ class SortedKeyList:
         block_size: int = DEFAULT_BLOCK_SIZE,
     ):
         self._block_size = block_size
+        self._freeze_rev = 0
+        self._frozen_rev = -1
+        self._frozen_view = None
         self._rebuild(sorted(keys))
 
     def __len__(self) -> int:
@@ -236,6 +245,7 @@ class SortedKeyList:
 
     def add(self, key: int) -> None:
         """Insert ``key`` keeping order; duplicates are allowed."""
+        self._freeze_rev += 1
         if not self._blocks:
             self._blocks.append([key])
             self._maxes.append(key)
@@ -262,6 +272,7 @@ class SortedKeyList:
 
     def remove(self, key: int) -> None:
         """Remove one occurrence of ``key``; raise ``ValueError`` if absent."""
+        self._freeze_rev += 1
         block_index = self._locate_block(key)
         if block_index == len(self._blocks):
             raise ValueError(f"key {key} not in SortedKeyList")
@@ -358,6 +369,7 @@ class SortedKeyList:
 
     def _rebuild(self, sorted_keys: list[int]) -> None:
         """Replace the contents with an already-sorted key list."""
+        self._freeze_rev += 1
         self._blocks = []
         self._maxes = []
         for start in range(0, len(sorted_keys), self._block_size):
@@ -440,11 +452,20 @@ class SortedKeyList:
         """
         from .epoch import FrozenRun
 
+        if self._frozen_view is not None and (
+            self._frozen_rev == self._freeze_rev
+        ):
+            if OBS.enabled:
+                _BLOCKED_REFREEZE_REUSED.inc()
+            return self._frozen_view
         try:
             keys = self._as_array()
         except OverflowError:
             keys = [key for block in self._blocks for key in block]
-        return FrozenRun(keys)
+        frozen = FrozenRun(keys)
+        self._frozen_view = frozen
+        self._frozen_rev = self._freeze_rev
+        return frozen
 
     def check_invariants(self) -> None:
         """Validate internal structure (used by property tests)."""
@@ -1241,6 +1262,60 @@ class TupleStore:
             index.bulk_add(self._tuples.values())
             self._indexes[key] = index
         return index
+
+    def migrate_backend(
+        self,
+        backend: str | None,
+        backend_options: Mapping | None = None,
+    ) -> str:
+        """Rebuild every prefix index on a new storage backend and swap it
+        in atomically.
+
+        The heap (blocks + dict remainder) is the source of truth, so the
+        rebuild is the exact :meth:`ensure_index` backfill run once per
+        registered attribute order: an O(n) ``bulk_load`` into fresh
+        backends, entirely off the read path.  The swap is a single dict
+        rebind under the index-build lock — readers either see the
+        complete old set or the complete new set, never a half-migrated
+        index, and queries in flight keep their already-resolved index.
+
+        Content is untouched, so ``mutation_epoch`` deliberately does NOT
+        advance: cached pages, published epochs, and estimator state all
+        stay valid, which is what makes estimates bit-identical across a
+        mid-run migration.  Callers must serialize against writers (the
+        engine invokes this at the epoch publish seam, under its write
+        lock).  Returns the resolved backend name.
+        """
+        name = resolve_backend(backend)
+        options = dict(backend_options) if backend_options else {}
+        started = time.perf_counter()
+        with self._index_lock:
+            # Mirror ensure_index: buffered bulk mutations must land in
+            # the old indexes (and the heap) before the heap is treated
+            # as the complete backfill source.
+            self._flush_pending()
+            rebuilt: dict[tuple[int, ...], PrefixIndex] = {}
+            for key in tuple(self._indexes):
+                index = PrefixIndex(
+                    self.schema,
+                    key,
+                    block_size=self._block_size,
+                    backend=name,
+                    backend_options=options,
+                )
+                for block in self._blocks:
+                    index.bulk_add_batch(block.alive_batch())
+                index.bulk_add(self._tuples.values())
+                rebuilt[key] = index
+            self.backend_name = name
+            self.backend_options = options
+            self._indexes = rebuilt
+        if OBS.enabled:
+            OBS.counter(
+                "repro_tuning_migrations_total", {"backend": name}
+            ).inc()
+            _MIGRATION_SECONDS.observe(time.perf_counter() - started)
+        return name
 
     def insert(self, t: HiddenTuple) -> None:
         """Insert a tuple; tids must be unique for the store's lifetime."""

@@ -67,6 +67,23 @@ CATALOG: dict[str, tuple[str, str]] = {
     "repro_epoch_pinned_readers": (
         "gauge", "Reader scopes currently pinned to a published epoch.",
     ),
+    "repro_epoch_refreeze_reused_total": (
+        "counter", "Backend freeze() calls satisfied by reusing the "
+        "previous frozen view unchanged (no buffer re-clone), by backend.",
+    ),
+    # --- self-tuning (repro.tuning) --------------------------------------
+    "repro_tuning_decisions_total": (
+        "counter", "Tuning controller decisions, by action "
+        "(initial/keep/migrate).",
+    ),
+    "repro_tuning_migrations_total": (
+        "counter", "Online backend/shard migrations applied at an epoch "
+        "flip, by target backend.",
+    ),
+    "repro_tuning_migration_seconds": (
+        "histogram", "Wall time of one online index rebuild + atomic "
+        "swap (the migration itself, not the decision).",
+    ),
     # --- engine ----------------------------------------------------------
     "repro_rounds_total": (
         "counter", "Engine rounds executed (run_round calls).",

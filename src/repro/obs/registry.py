@@ -274,6 +274,62 @@ class MetricsRegistry:
             },
         })
 
+    def delta(self, since: Mapping | None) -> dict:
+        """Per-window metric deltas against a prior :meth:`snapshot`.
+
+        The tuner (and any rate-based consumer) needs *windowed* activity
+        — queries per round, churn per flip — not lifetime totals.  Pass
+        the snapshot taken at the start of the window; the result has the
+        same shape as :meth:`snapshot` with every counter value, histogram
+        count/sum and cumulative bucket replaced by its increase over the
+        window.  Gauges are levels, not totals, so they carry their
+        current value unchanged.  Metrics that did not exist at window
+        start delta against zero; ``since=None`` is an empty baseline
+        (delta == snapshot).
+
+        Concurrency: both endpoints are assembled under the registry
+        lock, and counter/histogram writes are GIL-coalesced single
+        operations, so a delta taken while other threads increment is
+        always a *consistent prefix* — never negative, never torn.
+        """
+        current = self.snapshot()
+        if not since:
+            return current
+
+        def _index(entries):
+            return {
+                (entry["name"], tuple(sorted(entry["labels"].items()))):
+                entry
+                for entry in entries
+            }
+
+        base_counters = _index(since.get("counters", ()))
+        base_histograms = _index(since.get("histograms", ()))
+        for entry in current["counters"]:
+            key = (entry["name"], tuple(sorted(entry["labels"].items())))
+            base = base_counters.get(key)
+            if base is not None:
+                entry["value"] -= base["value"]
+        for entry in current["histograms"]:
+            key = (entry["name"], tuple(sorted(entry["labels"].items())))
+            base = base_histograms.get(key)
+            if base is None:
+                continue
+            entry["count"] -= base["count"]
+            base_buckets = {
+                bound: cumulative
+                for bound, cumulative in base.get("buckets", ())
+            }
+            entry["buckets"] = [
+                [bound, cumulative - base_buckets.get(bound, 0)]
+                for bound, cumulative in entry["buckets"]
+            ]
+            if isinstance(entry["sum"], (int, float)) and isinstance(
+                base["sum"], (int, float)
+            ):
+                entry["sum"] = _json_float(entry["sum"] - base["sum"])
+        return current
+
     def summary(self) -> dict:
         """Derived headline numbers (query mix, cache hit rate, flip
         latency) for bench drops and quick health checks."""

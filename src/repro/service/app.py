@@ -280,6 +280,7 @@ class ServiceApp:
             round_index=self.engine.current_round,
             governor=self.governor.snapshot(),
             metrics=self.engine.metrics(),
+            tuning=self.engine.tuning_report(),
         )
 
     def health(self) -> HealthResponse:

@@ -69,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(bit-identical estimates; mutations become visible at the "
              "next round flip)",
     )
+    engine.add_argument(
+        "--auto", action="store_true",
+        help="cost-based self-tuning (repro.tuning): pick backend/shards/"
+             "parallelism from the observed workload and re-shard online "
+             "at round flips; explicit --backend/--shards/--parallelism "
+             "act as pins the tuner never overrides (see docs/tuning.md)",
+    )
     engine.add_argument("--k", type=int, default=100,
                         help="top-k interface page size")
     engine.add_argument("--budget-per-round", type=int, default=300,
@@ -180,15 +187,22 @@ def build_app(args: argparse.Namespace) -> ServiceApp:
         report_log_limit=args.report_log_limit,
         store_dir=args.store_dir,
         observability=observability,
+        auto=args.auto,
     )
-    db = HiddenDatabase(
-        source.schema,
-        backend=config.backend,
-        block_size=config.block_size,
-        backend_options=config.backend_factory_options(),
-    )
-    db.insert_many(source.batch_columns(args.rows))
-    engine = Engine(config, db=db)
+    if config.auto:
+        # Let the engine build its own database so the tuner's initial
+        # (priors-only) decision picks the construction-time backend.
+        engine = Engine(config, schema=source.schema)
+        engine.load(source.batch_columns(args.rows))
+    else:
+        db = HiddenDatabase(
+            source.schema,
+            backend=config.backend,
+            block_size=config.block_size,
+            backend_options=config.backend_factory_options(),
+        )
+        db.insert_many(source.batch_columns(args.rows))
+        engine = Engine(config, db=db)
     return ServiceApp(engine, governor, snapshot_every=args.snapshot_every)
 
 

@@ -339,12 +339,14 @@ class TelemetryResponse(WireForm):
     the engine's observability snapshot.
 
     ``governor`` keeps its pre-PR-9 shape for one release; ``metrics`` is
-    the stamped :meth:`repro.api.Engine.metrics` payload (old clients
-    ignore it — ``WireForm.from_wire`` is forward-tolerant)."""
+    the stamped :meth:`repro.api.Engine.metrics` payload; ``tuning`` the
+    stamped :meth:`repro.api.Engine.tuning_report` audit (old clients
+    ignore both — ``WireForm.from_wire`` is forward-tolerant)."""
 
     round_index: int
     governor: dict = dataclasses.field(default_factory=dict)
     metrics: dict = dataclasses.field(default_factory=dict)
+    tuning: dict = dataclasses.field(default_factory=dict)
 
 
 @dataclasses.dataclass

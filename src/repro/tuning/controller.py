@@ -1,0 +1,212 @@
+"""The adaptive controller: when to act on what the cost model says.
+
+The controller is the *policy* half of ``repro.tuning`` (the model is
+the scoring half).  It owns three safeguards that keep auto-tuning from
+thrashing a live engine:
+
+* **Hysteresis** — a migration is proposed only when the best candidate
+  beats the *current* config's predicted cost by at least
+  ``improvement_threshold`` (default 20%).  Near-ties keep the current
+  config: a migration is an O(n) rebuild, so it has to pay for itself.
+* **Cooldown** — after a migration, ``cooldown_rounds`` further
+  observations must pass before the next one.  A freshly migrated store
+  has not produced a representative window yet.
+* **Warmup** — no migration before ``warmup_rounds`` observed rounds;
+  the cold-start profile is priors-only and should not trigger churn.
+
+Decisions are deterministic: the controller is a pure fold over the
+profile stream (same profiles + same priors + same pinned fields ⇒ same
+decision sequence), which is what makes the replay tests possible.  The
+*application* of a decision — actually rebuilding indexes — is the
+engine's job, at the epoch-publish seam (see
+:meth:`repro.api.Engine.advance_round`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Mapping, Sequence
+
+from ..obs import OBS
+from .model import Candidate, CostModel, WorkloadProfile, default_candidates
+
+#: Decision actions, in the order they can occur.
+ACTION_INITIAL = "initial"
+ACTION_KEEP = "keep"
+ACTION_MIGRATE = "migrate"
+
+# Import-time observability handles (see repro.obs).
+_DECISIONS = {
+    action: OBS.counter("repro_tuning_decisions_total", {"action": action})
+    for action in (ACTION_INITIAL, ACTION_KEEP, ACTION_MIGRATE)
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class TuningDecision:
+    """One controller decision, with enough context to audit it."""
+
+    action: str
+    choice: Candidate
+    score: float
+    current_score: float | None
+    profile: WorkloadProfile
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "action": self.action,
+            "choice": self.choice.to_dict(),
+            "score": self.score,
+            "current_score": self.current_score,
+            "profile": self.profile.to_dict(),
+            "reason": self.reason,
+        }
+
+
+class TuningController:
+    """Folds a stream of workload profiles into config decisions.
+
+    ``pinned`` maps config field names (``backend`` / ``shards`` /
+    ``parallelism``) to values the user fixed explicitly — the
+    controller never proposes a candidate that contradicts a pin, which
+    is the documented opt-out (pin every field, or set ``auto=False``).
+    ``cpu_budget`` bounds shard counts and worker widths; it defaults to
+    the ``REPRO_TUNING_CPUS`` environment variable, then the host's cpu
+    count — tests and benchmarks pin it for determinism across machines.
+    """
+
+    def __init__(
+        self,
+        model: CostModel | None = None,
+        *,
+        pinned: Mapping | None = None,
+        cpu_budget: int | None = None,
+        improvement_threshold: float = 0.2,
+        cooldown_rounds: int = 2,
+        warmup_rounds: int = 1,
+    ):
+        self.model = model if model is not None else CostModel()
+        self.pinned = dict(pinned or {})
+        if cpu_budget is None:
+            env = os.environ.get("REPRO_TUNING_CPUS", "").strip()
+            if env.isdigit() and int(env) > 0:
+                cpu_budget = int(env)
+            else:
+                cpu_budget = os.cpu_count() or 1
+        self.cpu_budget = max(1, int(cpu_budget))
+        self.improvement_threshold = float(improvement_threshold)
+        self.cooldown_rounds = int(cooldown_rounds)
+        self.warmup_rounds = int(warmup_rounds)
+        self.current: Candidate | None = None
+        self.decisions: list[TuningDecision] = []
+        self._cooldown = 0
+        self._observed_rounds = 0
+
+    def _candidates(self) -> list[Candidate]:
+        return default_candidates(self.cpu_budget, self.pinned)
+
+    def _record(self, decision: TuningDecision) -> TuningDecision:
+        self.decisions.append(decision)
+        self.current = decision.choice
+        if OBS.enabled:
+            _DECISIONS[decision.action].inc()
+        return decision
+
+    def initial_decision(
+        self, profile: WorkloadProfile | None = None
+    ) -> TuningDecision:
+        """Pick the construction-time config (priors-only when cold)."""
+        profile = profile if profile is not None else WorkloadProfile()
+        ranked = self.model.rank(self._candidates(), profile)
+        score, choice = ranked[0]
+        return self._record(TuningDecision(
+            action=ACTION_INITIAL,
+            choice=choice,
+            score=score,
+            current_score=None,
+            profile=profile,
+            reason=(
+                f"best of {len(ranked)} candidates on the "
+                f"{'cold-start' if profile.rounds == 0 else 'observed'} "
+                f"profile"
+            ),
+        ))
+
+    def observe(self, profile: WorkloadProfile) -> TuningDecision:
+        """Score the observed window; returns keep or migrate.
+
+        The caller applies a ``migrate`` decision at its safe seam (the
+        engine does so inside ``advance_round``, under the write lock,
+        right after the epoch publish flip).
+        """
+        if self.current is None:
+            return self.initial_decision(profile)
+        self._observed_rounds += max(0, profile.rounds)
+        ranked = self.model.rank(self._candidates(), profile)
+        best_score, best = ranked[0]
+        current_score = self.model.score(self.current, profile)
+        keep_reason: str | None = None
+        if best == self.current:
+            keep_reason = "current config is already the best candidate"
+        elif self._observed_rounds < self.warmup_rounds:
+            keep_reason = (
+                f"warmup: {self._observed_rounds}/{self.warmup_rounds} "
+                f"rounds observed"
+            )
+        elif self._cooldown > 0:
+            self._cooldown -= 1
+            keep_reason = (
+                f"cooldown: {self._cooldown + 1} observation(s) since "
+                f"last migration"
+            )
+        elif best_score > current_score * (1.0 - self.improvement_threshold):
+            keep_reason = (
+                f"hysteresis: best candidate improves "
+                f"{1.0 - best_score / current_score:.0%}, below the "
+                f"{self.improvement_threshold:.0%} threshold"
+            )
+        if keep_reason is not None:
+            return self._record(TuningDecision(
+                action=ACTION_KEEP,
+                choice=self.current,
+                score=current_score,
+                current_score=current_score,
+                profile=profile,
+                reason=keep_reason,
+            ))
+        self._cooldown = self.cooldown_rounds
+        return self._record(TuningDecision(
+            action=ACTION_MIGRATE,
+            choice=best,
+            score=best_score,
+            current_score=current_score,
+            profile=profile,
+            reason=(
+                f"predicted {1.0 - best_score / current_score:.0%} "
+                f"improvement over the current config"
+            ),
+        ))
+
+    def replay(
+        self, profiles: Sequence[WorkloadProfile]
+    ) -> list[TuningDecision]:
+        """Fold a recorded profile stream through a fresh decision
+        sequence (initial decision first if none was made yet)."""
+        return [self.observe(profile) for profile in profiles]
+
+    def report(self) -> dict:
+        """A JSON-safe audit of every decision so far."""
+        return {
+            "current": self.current.to_dict() if self.current else None,
+            "pinned": dict(self.pinned),
+            "cpu_budget": self.cpu_budget,
+            "improvement_threshold": self.improvement_threshold,
+            "cooldown_rounds": self.cooldown_rounds,
+            "warmup_rounds": self.warmup_rounds,
+            "priors": dict(self.model.priors),
+            "decisions": [
+                decision.to_dict() for decision in self.decisions
+            ],
+        }

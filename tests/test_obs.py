@@ -345,3 +345,105 @@ def test_interface_stats_concurrent_records_and_merges():
         total["underflow"] + total["valid"] + total["overflow"]
         == total["queries"]
     )
+
+
+# ----------------------------------------------------------------------
+# Windowed deltas (MetricsRegistry.delta)
+# ----------------------------------------------------------------------
+def test_delta_windows_counters_histograms_not_gauges():
+    registry = MetricsRegistry()
+    queries = registry.counter("repro_queries_total", {"status": "valid"})
+    wall = registry.histogram("repro_round_seconds")
+    level = registry.gauge("repro_worker_utilization")
+    queries.inc(5)
+    wall.observe(0.02)
+    level.set(0.25)
+    window_start = registry.snapshot()
+    queries.inc(3)
+    wall.observe(0.04)
+    wall.observe(10.0)
+    level.set(0.75)
+    # A metric born *inside* the window deltas against zero.
+    registry.counter("repro_queries_total", {"status": "overflow"}).inc(2)
+
+    delta = registry.delta(window_start)
+    json.dumps(delta, allow_nan=False)  # same strict-JSON contract
+    counters = {
+        entry["labels"]["status"]: entry["value"]
+        for entry in delta["counters"]
+        if entry["name"] == "repro_queries_total"
+    }
+    assert counters == {"valid": 3, "overflow": 2}
+    [histogram] = [
+        entry for entry in delta["histograms"]
+        if entry["name"] == "repro_round_seconds"
+    ]
+    assert histogram["count"] == 2
+    assert histogram["sum"] == pytest.approx(10.04)
+    # Bucket increases are cumulative within the window and end at the
+    # windowed count.
+    cumulative = [count for _, count in histogram["buckets"]]
+    assert cumulative == sorted(cumulative)
+    assert cumulative[-1] == 2
+    # Gauges are levels, not totals: current value, not a difference.
+    [gauge] = [
+        entry for entry in delta["gauges"]
+        if entry["name"] == "repro_worker_utilization"
+    ]
+    assert gauge["value"] == 0.75
+
+
+def test_delta_against_empty_baseline_is_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("repro_queries_total", {"status": "valid"}).inc(4)
+    assert registry.delta(None) == registry.snapshot()
+    assert registry.delta({}) == registry.snapshot()
+
+
+def test_delta_consistent_under_concurrent_increments():
+    """A delta taken mid-increment is a consistent prefix: never
+    negative, never torn, and successive windows sum to the total."""
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_queries_total", {"status": "valid"})
+    wall = registry.histogram("repro_round_seconds")
+    per_thread, threads = 4000, 6
+
+    def pound():
+        for i in range(per_thread):
+            counter.inc()
+            wall.observe(0.001 * (i % 7))
+
+    workers = [threading.Thread(target=pound) for _ in range(threads)]
+    window_start = registry.snapshot()
+    for worker in workers:
+        worker.start()
+    try:
+        last_value = 0
+        while any(worker.is_alive() for worker in workers):
+            delta = registry.delta(window_start)
+            [entry] = delta["counters"]
+            assert entry["value"] >= last_value >= 0
+            last_value = entry["value"]  # same base => monotone windows
+            [histogram] = delta["histograms"]
+            cumulative = [count for _, count in histogram["buckets"]]
+            assert all(count >= 0 for count in cumulative)
+            assert cumulative == sorted(cumulative)
+            assert cumulative[-1] == histogram["count"] >= 0
+    finally:
+        for worker in workers:
+            worker.join()
+    # Quiesced: the full-run window accounts for every increment...
+    total = registry.delta(window_start)
+    assert total["counters"][0]["value"] == per_thread * threads
+    assert total["histograms"][0]["count"] == per_thread * threads
+    # ...and adjacent windows partition exactly (no loss, no double
+    # count): a fresh window sees only what landed after its start.
+    mid = registry.snapshot()
+    counter.inc(10)
+    wall.observe(1.0)
+    tail = registry.delta(mid)
+    assert tail["counters"][0]["value"] == 10
+    assert tail["histograms"][0]["count"] == 1
+    assert registry.delta(window_start)["counters"][0]["value"] == (
+        per_thread * threads + 10
+    )
